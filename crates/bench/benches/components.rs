@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the pipeline components (Section VI-D's
+//! cost breakdown): trace generation, functional cache simulation, the
+//! interval algorithm, warp clustering, and the analytical models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpumech_core::{
+    build_profile, multithreading_cpi, select_representative, SelectionMethod,
+};
+use gpumech_isa::{SchedulingPolicy, SimConfig};
+use gpumech_mem::simulate_hierarchy;
+use gpumech_trace::workloads;
+
+fn benches(c: &mut Criterion) {
+    let w = workloads::by_name("cfd_compute_flux").expect("bundled").with_blocks(32);
+    let cfg = SimConfig::table1();
+    let trace = w.trace().expect("trace");
+    let mem = simulate_hierarchy(&trace, &cfg);
+    let profiles: Vec<_> =
+        trace.warps.iter().map(|wt| build_profile(wt, &cfg, &mem)).collect();
+
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+    group.bench_function("trace_generation", |b| b.iter(|| w.trace().expect("trace")));
+    group.bench_function("cache_simulation", |b| {
+        b.iter(|| simulate_hierarchy(&trace, &cfg));
+    });
+    group.bench_function("interval_algorithm_all_warps", |b| {
+        b.iter(|| {
+            trace
+                .warps
+                .iter()
+                .map(|wt| build_profile(wt, &cfg, &mem))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("interval_algorithm_one_warp", |b| {
+        b.iter(|| build_profile(&trace.warps[0], &cfg, &mem));
+    });
+    group.bench_function("kmeans_clustering", |b| {
+        b.iter(|| select_representative(&profiles, SelectionMethod::Clustering));
+    });
+    let rep = select_representative(&profiles, SelectionMethod::Clustering);
+    group.bench_function("multiwarp_model", |b| {
+        b.iter(|| multithreading_cpi(&profiles[rep], 32, SchedulingPolicy::RoundRobin));
+    });
+    group.finish();
+}
+
+criterion_group!(components, benches);
+criterion_main!(components);

@@ -1,0 +1,48 @@
+//! Criterion benchmark for Section VI-D: GPUMech model time versus the
+//! cycle-level oracle, on a small representative grid (Criterion runs each
+//! benchmark many times, so the grid is kept modest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpumech_core::{Gpumech, Model, SelectionMethod};
+use gpumech_isa::{SchedulingPolicy, SimConfig};
+use gpumech_timing::simulate;
+use gpumech_trace::workloads;
+
+const BLOCKS: usize = 32;
+
+fn bench_kernel(c: &mut Criterion, name: &str) {
+    let w = workloads::by_name(name).expect("bundled workload").with_blocks(BLOCKS);
+    let trace = w.trace().expect("trace");
+    let cfg = SimConfig::table1();
+    let model = Gpumech::new(cfg.clone());
+
+    let mut group = c.benchmark_group(format!("speedup/{name}"));
+    group.sample_size(10);
+    group.bench_function("oracle_timing_sim", |b| {
+        b.iter(|| simulate(&trace, &cfg, SchedulingPolicy::RoundRobin).expect("sim"));
+    });
+    group.bench_function("gpumech_analysis", |b| {
+        b.iter(|| model.analyze(&trace).expect("analysis"));
+    });
+    let analysis = model.analyze(&trace).expect("analysis");
+    group.bench_function("gpumech_predict", |b| {
+        b.iter(|| {
+            model.predict_from_analysis(
+                &analysis,
+                SchedulingPolicy::RoundRobin,
+                Model::MtMshrBand,
+                SelectionMethod::Clustering,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for name in ["cfd_step_factor", "cfd_compute_flux", "kmeans_invert_mapping"] {
+        bench_kernel(c, name);
+    }
+}
+
+criterion_group!(speedup, benches);
+criterion_main!(speedup);

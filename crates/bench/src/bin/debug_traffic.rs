@@ -1,0 +1,62 @@
+//! Debug utility: compares the functional cache simulation's DRAM-traffic
+//! estimate against the timing oracle's actual DRAM request count, per
+//! kernel. Large disagreement means access-order-dependent cache behaviour
+//! (a known limitation shared with the paper's methodology).
+//!
+//! Usage: `debug_traffic [--blocks N] [kernel ...]`
+
+use gpumech_isa::{SchedulingPolicy, SimConfig};
+use gpumech_mem::simulate_hierarchy;
+use gpumech_timing::simulate;
+use gpumech_trace::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut blocks = 128usize;
+    let mut mshrs = 32usize;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--blocks" {
+            blocks = it.next().expect("--blocks N").parse().expect("number");
+        } else if a == "--mshrs" {
+            mshrs = it.next().expect("--mshrs N").parse().expect("number");
+        } else {
+            names.push(a);
+        }
+    }
+    if names.is_empty() {
+        names = vec![
+            "srad_kernel1".into(),
+            "sdk_vectoradd".into(),
+            "parboil_sad_calc8".into(),
+            "kmeans_invert_mapping".into(),
+            "bfs_kernel1".into(),
+        ];
+    }
+    let cfg = SimConfig::default().with_mshrs(mshrs);
+    println!(
+        "{:<28}{:>14}{:>14}{:>10}{:>12}{:>10}",
+        "kernel", "func dram", "oracle dram", "ratio", "oracle cpi", "dram util"
+    );
+    for name in names {
+        let w = workloads::by_name(&name).expect("kernel name").with_blocks(blocks);
+        let trace = w.trace().expect("trace");
+        let stats = simulate_hierarchy(&trace, &cfg);
+        let func_dram: u64 = stats
+            .load_pcs()
+            .chain(stats.store_pcs())
+            .map(|pc| stats.pc_stats(pc).unwrap().dram_reqs)
+            .sum();
+        let oracle = simulate(&trace, &cfg, SchedulingPolicy::RoundRobin).expect("sim");
+        println!(
+            "{:<28}{:>14}{:>14}{:>10.3}{:>12.3}{:>10.3}",
+            name,
+            func_dram,
+            oracle.dram_requests,
+            oracle.dram_requests as f64 / func_dram.max(1) as f64,
+            oracle.cpi(),
+            oracle.dram_utilization,
+        );
+    }
+}

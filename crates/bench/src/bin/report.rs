@@ -1,0 +1,108 @@
+//! Renders the recorded experiment JSONs (`results/*.json`) into a single
+//! markdown report — the machine-generated companion to EXPERIMENTS.md.
+//!
+//! Usage: `report [--dir results] [--out results/report.md]`
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use gpumech_bench::{fraction_below, mean_error, KernelEval};
+use gpumech_core::Model;
+
+fn load(dir: &Path, name: &str) -> Option<Vec<KernelEval>> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn model_header() -> String {
+    let mut s = String::from("| config |");
+    for m in Model::ALL {
+        s.push_str(&format!(" {m} |"));
+    }
+    s.push_str("\n|---|");
+    s.push_str(&"---|".repeat(Model::ALL.len()));
+    s.push('\n');
+    s
+}
+
+fn sweep_table(evals: &[KernelEval]) -> String {
+    // Group by config label, preserving first-seen order via BTreeMap over
+    // insertion index.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: BTreeMap<String, Vec<&KernelEval>> = BTreeMap::new();
+    for e in evals {
+        if !groups.contains_key(&e.config_label) {
+            order.push(e.config_label.clone());
+        }
+        groups.entry(e.config_label.clone()).or_default().push(e);
+    }
+    let mut out = model_header();
+    for label in order {
+        let evals: Vec<KernelEval> = groups[&label].iter().map(|&e| e.clone()).collect();
+        out.push_str(&format!("| {label} |"));
+        for m in Model::ALL {
+            out.push_str(&format!(" {:.1}% |", 100.0 * mean_error(&evals, m)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn per_kernel_table(evals: &[KernelEval], top: usize) -> String {
+    let mut rows: Vec<&KernelEval> = evals.iter().collect();
+    rows.sort_by(|a, b| {
+        b.error(Model::MtMshrBand).total_cmp(&a.error(Model::MtMshrBand))
+    });
+    let mut out = String::from("| kernel | oracle CPI | GPUMech error |\n|---|---|---|\n");
+    for e in rows.iter().take(top) {
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.1}% |\n",
+            e.name,
+            e.oracle_cpi,
+            100.0 * e.error(Model::MtMshrBand)
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let dir = get("--dir").unwrap_or_else(|| "results".to_string());
+    let out_path = get("--out").unwrap_or_else(|| format!("{dir}/report.md"));
+    let dir = Path::new(&dir);
+
+    let mut out = String::from("# GPUMech reproduction — generated report\n\n");
+    out.push_str("Mean relative CPI error per model (lower is better).\n\n");
+
+    for (file, title) in [
+        ("fig11.json", "Figure 11 — round-robin policy"),
+        ("fig12.json", "Figure 12 — greedy-then-oldest policy"),
+        ("fig13.json", "Figure 13 — warps per core sweep"),
+        ("fig14.json", "Figure 14 — MSHR entries sweep"),
+        ("fig15.json", "Figure 15 — DRAM bandwidth sweep"),
+    ] {
+        let Some(evals) = load(dir, file) else {
+            out.push_str(&format!("## {title}\n\n(missing {file})\n\n"));
+            continue;
+        };
+        out.push_str(&format!("## {title}\n\n"));
+        out.push_str(&sweep_table(&evals));
+        if file == "fig11.json" {
+            out.push_str(&format!(
+                "\nGPUMech kernels under 20% error: {:.1}%; Markov_Chain: {:.1}%.\n",
+                100.0 * fraction_below(&evals, Model::MtMshrBand, 0.2),
+                100.0 * fraction_below(&evals, Model::MarkovChain, 0.2),
+            ));
+            out.push_str("\nHardest kernels for the full model:\n\n");
+            out.push_str(&per_kernel_table(&evals, 8));
+        }
+        out.push('\n');
+    }
+
+    std::fs::write(&out_path, &out).expect("write report");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,58 @@
+//! Table I: the simulated machine configuration.
+//!
+//! Prints the active `SimConfig` in the paper's Table I layout so runs are
+//! self-documenting.
+//!
+//! Usage: `table1_config`
+
+use gpumech_isa::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::table1();
+    cfg.validate().expect("Table I config is valid");
+    println!("# Table I: simulation configuration");
+    println!("{:<28}{}", "Number of cores", cfg.num_cores);
+    println!("{:<28}{} GHz", "Clock", cfg.clock_ghz);
+    println!("{:<28}{}", "SIMT width", cfg.simt_width);
+    println!(
+        "{:<28}{} threads ({} warps)",
+        "Maximum threads/core",
+        cfg.max_warps_per_core * 32,
+        cfg.max_warps_per_core
+    );
+    println!("{:<28}{} warp-instruction/cycle", "Issue width", cfg.issue_width);
+    println!(
+        "{:<28}normal FP {} cycles, int {} cycles, SFU {} cycles",
+        "Instruction latencies",
+        cfg.latencies.fp_add,
+        cfg.latencies.int_alu,
+        cfg.latencies.sfu
+    );
+    println!("{:<28}{} KiB (software managed)", "Shared memory", cfg.shared_mem_kib);
+    println!(
+        "{:<28}{} KB, {} B line, {} cycles, {}-way, {} MSHR entries",
+        "L1 cache",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.line_bytes,
+        cfg.l1.latency,
+        cfg.l1.assoc,
+        cfg.num_mshrs
+    );
+    println!(
+        "{:<28}{} KB, {} B line, {} cycles, {}-way",
+        "L2 cache",
+        cfg.l2.size_bytes / 1024,
+        cfg.l2.line_bytes,
+        cfg.l2.latency,
+        cfg.l2.assoc
+    );
+    println!(
+        "{:<28}{} GB/s bandwidth, {} cycles access latency",
+        "DRAM", cfg.dram_bandwidth_gbps, cfg.dram_latency
+    );
+    println!(
+        "{:<28}{:.3} cycles per 128 B line",
+        "  -> bus service time",
+        cfg.dram_service_cycles()
+    );
+}

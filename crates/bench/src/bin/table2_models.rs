@@ -1,0 +1,22 @@
+//! Table II: the evaluated models.
+//!
+//! Usage: `table2_models`
+
+use gpumech_core::Model;
+
+fn main() {
+    println!("# Table II: evaluated models");
+    println!("{:<18}description", "model");
+    for m in Model::ALL {
+        let desc = match m {
+            Model::NaiveInterval => "optimistic overlap (Equation 1)",
+            Model::MarkovChain => "Markov-chain multithreading model (Chen & Aamodt, HPCA 2009)",
+            Model::Mt => "modeling multithreading (Section IV-A)",
+            Model::MtMshr => "multithreading + MSHR contention (Section IV-B1)",
+            Model::MtMshrBand => {
+                "multithreading + MSHR + DRAM bandwidth (Section IV-B2) — GPUMech"
+            }
+        };
+        println!("{:<18}{desc}", m.to_string());
+    }
+}

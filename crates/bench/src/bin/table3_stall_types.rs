@@ -1,0 +1,22 @@
+//! Table III: stall types of CPI stacks.
+//!
+//! Usage: `table3_stall_types`
+
+use gpumech_core::StallCategory;
+
+fn main() {
+    println!("# Table III: stall types of CPI stacks");
+    println!("{:<14}stall type", "abbreviation");
+    for cat in StallCategory::ALL {
+        let desc = match cat {
+            StallCategory::Base => "instruction issue cycles",
+            StallCategory::Dep => "compute dependencies",
+            StallCategory::L1 => "L1 hits",
+            StallCategory::L2 => "L2 hits",
+            StallCategory::Dram => "DRAM access latency (no queueing)",
+            StallCategory::Mshr => "MSHR queueing delay",
+            StallCategory::Queue => "DRAM queueing delay",
+        };
+        println!("{:<14}{desc}", cat.to_string());
+    }
+}

@@ -1,0 +1,248 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures.
+//!
+//! Every `fig*`/`table*` binary in `src/bin/` is a thin wrapper over this
+//! library: [`evaluate_kernel`] runs the timing oracle once and all five
+//! Table II models against it, [`KernelEval::error`] computes the paper's
+//! validation metric (relative CPI error), and the formatting helpers print
+//! the same rows/series the paper plots. Results can also be dumped as
+//! JSON for EXPERIMENTS.md bookkeeping.
+
+use std::time::{Duration, Instant};
+
+use gpumech_core::{Gpumech, Model, Prediction, SelectionMethod};
+use gpumech_isa::{SchedulingPolicy, SimConfig};
+use gpumech_timing::{simulate, TimingResult};
+use gpumech_trace::{KernelTrace, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Grid size (blocks) used by the experiment harnesses.
+///
+/// The bundled workloads default to 192 blocks (3x occupancy of the
+/// Table I machine, as the paper requires); the harnesses keep that but
+/// allow an override for quick runs via [`Experiment::blocks`].
+pub const DEFAULT_BLOCKS: usize = 192;
+
+/// One kernel evaluated under one configuration and policy: the oracle
+/// result and every model's prediction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelEval {
+    /// Workload name.
+    pub name: String,
+    /// Machine configuration used.
+    pub config_label: String,
+    /// Scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// Oracle (cycle-level) CPI.
+    pub oracle_cpi: f64,
+    /// Oracle wall-clock runtime.
+    pub oracle_time: Duration,
+    /// Model predictions in Table II order.
+    pub predictions: Vec<Prediction>,
+    /// Wall-clock time of the one-time analysis (cache sim + interval
+    /// algorithm over all warps + clustering).
+    pub analysis_time: Duration,
+    /// Wall-clock time of the per-(model, policy) prediction step.
+    pub predict_time: Duration,
+}
+
+impl KernelEval {
+    /// Relative CPI error of `model` versus the oracle:
+    /// `|CPI_model - CPI_sim| / CPI_sim`.
+    #[must_use]
+    pub fn error(&self, model: Model) -> f64 {
+        let p = self
+            .predictions
+            .iter()
+            .find(|p| p.model == model)
+            .unwrap_or_else(|| panic!("model {model} missing from evaluation"));
+        (p.cpi_total() - self.oracle_cpi).abs() / self.oracle_cpi
+    }
+
+    /// The prediction of one model.
+    #[must_use]
+    pub fn prediction(&self, model: Model) -> &Prediction {
+        self.predictions.iter().find(|p| p.model == model).expect("all models evaluated")
+    }
+}
+
+/// Experiment configuration shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Machine configuration.
+    pub cfg: SimConfig,
+    /// Human-readable label for the configuration (axis value in sweeps).
+    pub label: String,
+    /// Scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// Grid size override (`None` keeps each workload's default grid).
+    pub blocks: Option<usize>,
+    /// Representative-warp selection method.
+    pub selection: SelectionMethod,
+}
+
+impl Experiment {
+    /// Baseline experiment: Table I machine, round-robin, clustering.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            cfg: SimConfig::table1(),
+            label: "table1".to_string(),
+            policy: SchedulingPolicy::RoundRobin,
+            blocks: None,
+            selection: SelectionMethod::Clustering,
+        }
+    }
+
+    /// Same experiment under a different policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same experiment with a reduced grid (quick runs).
+    #[must_use]
+    pub fn with_blocks(mut self, blocks: usize) -> Self {
+        self.blocks = Some(blocks);
+        self
+    }
+}
+
+/// Runs the oracle and all five models for one workload.
+///
+/// # Panics
+///
+/// Panics if tracing, simulation, or modeling fails — harness binaries
+/// treat any failure as fatal.
+#[must_use]
+pub fn evaluate_kernel(workload: &Workload, exp: &Experiment) -> KernelEval {
+    let w = match exp.blocks {
+        Some(b) => workload.clone().with_blocks(b),
+        None => workload.clone(),
+    };
+    let trace = w.trace().unwrap_or_else(|e| panic!("{}: trace failed: {e}", w.name));
+    evaluate_trace(&w.name, &trace, exp)
+}
+
+/// [`evaluate_kernel`] over a pre-generated trace.
+///
+/// # Panics
+///
+/// Panics if simulation or modeling fails.
+#[must_use]
+pub fn evaluate_trace(name: &str, trace: &KernelTrace, exp: &Experiment) -> KernelEval {
+    let t0 = Instant::now();
+    let oracle: TimingResult = simulate(trace, &exp.cfg, exp.policy)
+        .unwrap_or_else(|e| panic!("{name}: oracle failed: {e}"));
+    let oracle_time = t0.elapsed();
+
+    let model = Gpumech::new(exp.cfg.clone());
+    let t1 = Instant::now();
+    let analysis = model.analyze(trace).unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+    let analysis_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let predictions: Vec<Prediction> = Model::ALL
+        .iter()
+        .map(|&m| model.predict_from_analysis(&analysis, exp.policy, m, exp.selection))
+        .collect();
+    let predict_time = t2.elapsed();
+
+    KernelEval {
+        name: name.to_string(),
+        config_label: exp.label.clone(),
+        policy: exp.policy,
+        oracle_cpi: oracle.cpi(),
+        oracle_time,
+        predictions,
+        analysis_time,
+        predict_time,
+    }
+}
+
+/// Mean of `values`.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 }
+}
+
+/// Mean relative error of one model across evaluations.
+#[must_use]
+pub fn mean_error(evals: &[KernelEval], model: Model) -> f64 {
+    mean(&evals.iter().map(|e| e.error(model)).collect::<Vec<_>>())
+}
+
+/// Fraction of evaluations with error below `threshold` for one model
+/// (the paper's "75% of kernels have less than 20% error" style metric).
+#[must_use]
+pub fn fraction_below(evals: &[KernelEval], model: Model, threshold: f64) -> f64 {
+    if evals.is_empty() {
+        return 0.0;
+    }
+    evals.iter().filter(|e| e.error(model) < threshold).count() as f64 / evals.len() as f64
+}
+
+/// Formats a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Prints a per-kernel error table for the given models.
+pub fn print_error_table(evals: &[KernelEval], models: &[Model]) {
+    print!("{:<28}", "kernel");
+    print!("{:>10}", "oracle");
+    for m in models {
+        print!("{:>16}", m.to_string());
+    }
+    println!();
+    for e in evals {
+        print!("{:<28}{:>10.3}", e.name, e.oracle_cpi);
+        for &m in models {
+            print!("{:>16}", pct(e.error(m)));
+        }
+        println!();
+    }
+    print!("{:<28}{:>10}", "MEAN ERROR", "");
+    for &m in models {
+        print!("{:>16}", pct(mean_error(evals, m)));
+    }
+    println!();
+}
+
+/// Writes evaluations as JSON to `path` (used to record EXPERIMENTS.md
+/// data).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn dump_json(evals: &[KernelEval], path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(path, serde_json::to_string_pretty(evals)?)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_trace::workloads;
+
+    #[test]
+    fn evaluate_kernel_produces_all_models() {
+        let w = workloads::by_name("sdk_vectoradd").unwrap();
+        let exp = Experiment::baseline().with_blocks(8);
+        let e = evaluate_kernel(&w, &exp);
+        assert_eq!(e.predictions.len(), 5);
+        assert!(e.oracle_cpi > 0.0);
+        for m in Model::ALL {
+            assert!(e.error(m).is_finite());
+        }
+    }
+
+    #[test]
+    fn mean_and_fraction_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(pct(0.132), "13.2%");
+    }
+}

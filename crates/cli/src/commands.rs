@@ -1,0 +1,558 @@
+//! Subcommand implementations. Every command returns the text it would
+//! print, so tests assert on output without process spawning.
+
+use std::fmt;
+
+use gpumech_core::{
+    summarize_population, Gpumech, Model, Prediction, SchedulingPolicy, SelectionMethod,
+    StallCategory,
+};
+use gpumech_isa::SimConfig;
+use gpumech_timing::simulate;
+use gpumech_trace::{workloads, Workload};
+
+use crate::args::{ArgError, Args};
+use crate::USAGE;
+
+/// Error surfaced to the user by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing or validation failed.
+    Args(ArgError),
+    /// The named workload does not exist.
+    UnknownKernel(String),
+    /// The named subcommand does not exist.
+    UnknownCommand(String),
+    /// A flag accepted only specific values.
+    BadChoice {
+        /// The flag name.
+        flag: &'static str,
+        /// The offending value.
+        value: String,
+        /// The accepted values.
+        expected: &'static str,
+    },
+    /// The underlying library failed.
+    Model(String),
+    /// Writing an output file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}\n\n{USAGE}"),
+            CliError::UnknownKernel(k) => {
+                write!(f, "unknown kernel {k:?}; run `gpumech list` for the catalogue")
+            }
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}\n\n{USAGE}"),
+            CliError::BadChoice { flag, value, expected } => {
+                write!(f, "--{flag} must be one of {expected}, got {value:?}")
+            }
+            CliError::Model(e) => write!(f, "modeling failed: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const MACHINE_FLAGS: [&str; 5] = ["blocks", "warps", "mshrs", "bw", "sfu"];
+
+fn machine_config(args: &Args) -> Result<SimConfig, CliError> {
+    let mut cfg = SimConfig::table1();
+    if let Some(w) = args.flag_opt::<usize>("warps")? {
+        cfg = cfg.with_warps_per_core(w);
+    }
+    if let Some(m) = args.flag_opt::<usize>("mshrs")? {
+        cfg = cfg.with_mshrs(m);
+    }
+    if let Some(b) = args.flag_opt::<f64>("bw")? {
+        cfg = cfg.with_dram_bandwidth(b);
+    }
+    if let Some(s) = args.flag_opt::<usize>("sfu")? {
+        cfg = cfg.with_sfu_per_core(s);
+    }
+    cfg.validate().map_err(|e| CliError::Model(e.to_string()))?;
+    Ok(cfg)
+}
+
+fn lookup(args: &Args) -> Result<Workload, CliError> {
+    let name = args.required(0, "kernel")?;
+    let w = workloads::by_name(name).ok_or_else(|| CliError::UnknownKernel(name.to_string()))?;
+    Ok(match args.flag_opt::<usize>("blocks")? {
+        Some(b) => w.with_blocks(b),
+        None => w,
+    })
+}
+
+fn policy(args: &Args) -> Result<SchedulingPolicy, CliError> {
+    match args.flag("policy").unwrap_or("rr") {
+        "rr" => Ok(SchedulingPolicy::RoundRobin),
+        "gto" => Ok(SchedulingPolicy::GreedyThenOldest),
+        other => Err(CliError::BadChoice {
+            flag: "policy",
+            value: other.to_string(),
+            expected: "rr|gto",
+        }),
+    }
+}
+
+fn model_kind(args: &Args) -> Result<Model, CliError> {
+    match args.flag("model").unwrap_or("full") {
+        "naive" => Ok(Model::NaiveInterval),
+        "markov" => Ok(Model::MarkovChain),
+        "mt" => Ok(Model::Mt),
+        "mt_mshr" => Ok(Model::MtMshr),
+        "full" | "mt_mshr_band" => Ok(Model::MtMshrBand),
+        other => Err(CliError::BadChoice {
+            flag: "model",
+            value: other.to_string(),
+            expected: "naive|markov|mt|mt_mshr|full",
+        }),
+    }
+}
+
+/// Dispatches one invocation; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad arguments, unknown kernels or
+/// commands, or failures in the underlying library.
+pub fn run<I>(argv: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut it = argv.into_iter();
+    let command = it.next().unwrap_or_else(|| "help".to_string());
+    let rest: Vec<String> = it.collect();
+    match command.as_str() {
+        "list" => cmd_list(&Args::parse(rest, &[])?),
+        "config" => cmd_config(&Args::parse(rest, &MACHINE_FLAGS)?),
+        "trace" => cmd_trace(&Args::parse(rest, &["blocks", "json"])?),
+        "predict" => cmd_predict(&Args::parse(
+            rest,
+            &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection"],
+        )?),
+        "simulate" => cmd_simulate(&Args::parse(
+            rest,
+            &["blocks", "warps", "mshrs", "bw", "sfu", "policy"],
+        )?),
+        "compare" => cmd_compare(&Args::parse(
+            rest,
+            &["blocks", "warps", "mshrs", "bw", "sfu", "policy"],
+        )?),
+        "stacks" => cmd_stacks(&Args::parse(rest, &["blocks", "policy"])?),
+        "profile" => cmd_profile(&Args::parse(rest, &["blocks", "warps", "mshrs", "bw", "sfu"])?),
+        "intervals" => {
+            cmd_intervals(&Args::parse(rest, &["blocks", "warps", "mshrs", "bw", "sfu", "limit"])?)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn cmd_list(_args: &Args) -> Result<String, CliError> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28}{:<10}{:<12}{:<8}description\n",
+        "name", "suite", "divergence", "cdiv"
+    ));
+    for w in workloads::all() {
+        out.push_str(&format!(
+            "{:<28}{:<10}{:<12}{:<8}{}\n",
+            w.name,
+            w.suite.to_string(),
+            format!("{:?}", w.divergence).to_lowercase(),
+            if w.control_divergent { "yes" } else { "-" },
+            w.description,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_config(args: &Args) -> Result<String, CliError> {
+    let cfg = machine_config(args)?;
+    Ok(format!(
+        "cores: {}\nclock: {} GHz\nwarps/core: {}\nissue width: {}\n\
+         L1: {} KB, {}-way, {} cycles, {} MSHRs\nL2: {} KB, {}-way, {} cycles\n\
+         DRAM: {} GB/s, {} cycles (service {:.3} cyc/line)\nSFU lanes: {} (initiation interval {})\n",
+        cfg.num_cores,
+        cfg.clock_ghz,
+        cfg.max_warps_per_core,
+        cfg.issue_width,
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.assoc,
+        cfg.l1.latency,
+        cfg.num_mshrs,
+        cfg.l2.size_bytes / 1024,
+        cfg.l2.assoc,
+        cfg.l2.latency,
+        cfg.dram_bandwidth_gbps,
+        cfg.dram_latency,
+        cfg.dram_service_cycles(),
+        cfg.sfu_per_core,
+        cfg.sfu_initiation_interval(),
+    ))
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let mut out = format!(
+        "kernel: {}\nwarps: {}\ntotal instructions: {}\nglobal memory instructions: {}\n",
+        trace.name,
+        trace.warps.len(),
+        trace.total_insts(),
+        trace.total_global_mem_insts(),
+    );
+    let lens: Vec<usize> = trace.warps.iter().map(gpumech_trace::WarpTrace::len).collect();
+    let min = lens.iter().min().copied().unwrap_or(0);
+    let max = lens.iter().max().copied().unwrap_or(0);
+    out.push_str(&format!(
+        "per-warp length: min {min}, max {max}, mean {:.1}\n",
+        trace.total_insts() as f64 / trace.warps.len().max(1) as f64
+    ));
+    if let Some(path) = args.flag("json") {
+        let json = serde_json::to_string(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+        std::fs::write(path, json)?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn render_prediction(p: &Prediction, header: &str) -> String {
+    let mut out = format!("{header}\n");
+    out.push_str(&format!(
+        "predicted CPI: {:.3}  (IPC {:.3})\n",
+        p.cpi_total(),
+        p.ipc()
+    ));
+    out.push_str(&format!(
+        "  multithreading {:.3} + contention {:.3} (MSHR {:.3}, QUEUE {:.3}, SFU {:.3})\n",
+        p.multithreading.cpi,
+        p.contention.cpi,
+        p.contention.cpi_mshr,
+        p.contention.cpi_queue,
+        p.contention.cpi_sfu,
+    ));
+    out.push_str(&format!(
+        "  representative warp: #{} (single-warp CPI {:.2}), {} warps/core\n",
+        p.representative, p.single_warp_cpi, p.warps_per_core
+    ));
+    out.push_str(&format!("  {}\n", p.cpi.render_bar(60)));
+    out
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let cfg = machine_config(args)?;
+    let pol = policy(args)?;
+    let kind = model_kind(args)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let model = Gpumech::new(cfg);
+    let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+    let p = match args.flag("selection").unwrap_or("clustering") {
+        "max" => model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Max),
+        "min" => model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Min),
+        "clustering" => {
+            model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Clustering)
+        }
+        "weighted" => model.predict_weighted_clusters(&analysis, pol, kind),
+        other => {
+            return Err(CliError::BadChoice {
+                flag: "selection",
+                value: other.to_string(),
+                expected: "max|min|clustering|weighted",
+            })
+        }
+    };
+    Ok(render_prediction(&p, &format!("kernel: {} ({} policy, {})", w.name, pol, kind)))
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let cfg = machine_config(args)?;
+    let pol = policy(args)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let t0 = std::time::Instant::now();
+    let r = simulate(&trace, &cfg, pol).map_err(|e| CliError::Model(e.to_string()))?;
+    let dt = t0.elapsed();
+    Ok(format!(
+        "kernel: {} ({pol} policy)\ncycles: {}\ninstructions: {}\nCPI: {:.3}  (IPC {:.3})\n\
+         DRAM requests: {}  (bus utilization {:.1}%)\nsimulated in {dt:.2?}\n",
+        w.name,
+        r.cycles,
+        r.insts,
+        r.cpi(),
+        r.ipc(),
+        r.dram_requests,
+        100.0 * r.dram_utilization,
+    ))
+}
+
+fn cmd_compare(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let cfg = machine_config(args)?;
+    let pol = policy(args)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let oracle = simulate(&trace, &cfg, pol).map_err(|e| CliError::Model(e.to_string()))?;
+    let model = Gpumech::new(cfg);
+    let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+
+    let mut out = format!(
+        "kernel: {} ({pol} policy)\noracle CPI: {:.3}\n\n{:<16}{:>10}{:>10}\n",
+        w.name,
+        oracle.cpi(),
+        "model",
+        "CPI",
+        "error"
+    );
+    for kind in Model::ALL {
+        let p = model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Clustering);
+        let err = (p.cpi_total() - oracle.cpi()).abs() / oracle.cpi();
+        out.push_str(&format!(
+            "{:<16}{:>10.3}{:>9.1}%\n",
+            kind.to_string(),
+            p.cpi_total(),
+            100.0 * err
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_stacks(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let pol = policy(args)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let mut out = format!("kernel: {} ({pol} policy)\n", w.name);
+    out.push_str(&format!("{:<8}", "warps"));
+    for cat in StallCategory::ALL {
+        out.push_str(&format!("{:>8}", cat.to_string()));
+    }
+    out.push_str(&format!("{:>10}\n", "CPI"));
+    for warps in [8usize, 16, 32, 48] {
+        let cfg = SimConfig::table1().with_warps_per_core(warps);
+        let model = Gpumech::new(cfg);
+        let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+        let p = model.predict_from_analysis(
+            &analysis,
+            pol,
+            Model::MtMshrBand,
+            SelectionMethod::Clustering,
+        );
+        out.push_str(&format!("{warps:<8}"));
+        for cat in StallCategory::ALL {
+            out.push_str(&format!("{:>8.2}", p.cpi.get(cat)));
+        }
+        out.push_str(&format!("{:>10.2}\n", p.cpi_total()));
+    }
+    Ok(out)
+}
+
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let cfg = machine_config(args)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let model = Gpumech::new(cfg);
+    let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+    let pop = summarize_population(&analysis.profiles);
+    let rep = gpumech_core::select_representative(&analysis.profiles, SelectionMethod::Clustering);
+    let s = analysis.profiles[rep].summary();
+
+    let mut out = format!("kernel: {}\n\n== warp population ==\n", w.name);
+    out.push_str(&format!(
+        "warps: {}\nper-warp IPC: min {:.4}, mean {:.4}, max {:.4} (cv {:.2})\n\
+         per-warp instructions: min {}, mean {:.1}, max {}\n",
+        pop.num_warps,
+        pop.perf_min,
+        pop.perf_mean,
+        pop.perf_max,
+        pop.perf_cv,
+        pop.insts_min,
+        pop.insts_mean,
+        pop.insts_max,
+    ));
+    out.push_str(&format!("\n== representative warp #{rep} ==\n"));
+    out.push_str(&format!(
+        "intervals: {} (avg {:.1} insts, avg stall {:.1} cycles)\n\
+         instructions: {} ({} loads, {} stores)\n\
+         stall cycles: {:.0} total — {:.0} compute, {:.0} memory\n\
+         divergence degree: {:.1} requests per memory instruction\n\
+         MSHR-allocating requests/inst: {:.2}\nDRAM-reaching requests/inst: {:.2}\n\
+         avg miss latency (no queueing): {:.0} cycles\n",
+        s.num_intervals,
+        s.avg_interval_insts,
+        s.avg_stall_cycles,
+        s.total_insts,
+        s.load_insts,
+        s.store_insts,
+        s.total_stall_cycles,
+        s.compute_stall_cycles,
+        s.memory_stall_cycles,
+        s.divergence_degree,
+        s.mshr_reqs_per_inst,
+        s.dram_reqs_per_inst,
+        analysis.mem.avg_miss_latency(),
+    ));
+    Ok(out)
+}
+
+fn cmd_intervals(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let cfg = machine_config(args)?;
+    let limit: usize = args.flag_or("limit", 20)?;
+    let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
+    let model = Gpumech::new(cfg);
+    let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+    let rep = gpumech_core::select_representative(&analysis.profiles, SelectionMethod::Clustering);
+    let profile = &analysis.profiles[rep];
+
+    let mut out = format!(
+        "kernel: {} — representative warp #{rep} ({} intervals, showing {})\n\n",
+        w.name,
+        profile.intervals.len(),
+        limit.min(profile.intervals.len())
+    );
+    out.push_str(&format!(
+        "{:<6}{:>7}{:>10}{:>10}{:>8}{:>8}{:>9}{:>9}  cause\n",
+        "#", "insts", "stall", "loads", "stores", "reqs", "mshr", "dram"
+    ));
+    for (i, iv) in profile.intervals.iter().take(limit).enumerate() {
+        let cause = match iv.cause {
+            gpumech_core::StallCause::None => "-".to_string(),
+            gpumech_core::StallCause::Compute => "compute".to_string(),
+            gpumech_core::StallCause::Memory { pc } => format!("load@pc{pc}"),
+        };
+        out.push_str(&format!(
+            "{:<6}{:>7}{:>10.1}{:>10}{:>8}{:>8.1}{:>9.2}{:>9.2}  {cause}\n",
+            i, iv.insts, iv.stall_cycles, iv.load_insts, iv.store_insts, iv.mem_reqs,
+            iv.mshr_reqs, iv.dram_reqs,
+        ));
+    }
+    if profile.intervals.len() > limit {
+        out.push_str(&format!("... {} more (use --limit)\n", profile.intervals.len() - limit));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(argv: &[&str]) -> String {
+        run(argv.iter().map(ToString::to_string)).expect("command succeeds")
+    }
+
+    fn run_err(argv: &[&str]) -> CliError {
+        run(argv.iter().map(ToString::to_string)).expect_err("command fails")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+        assert!(run_ok(&[]).contains("USAGE"), "no args defaults to help");
+    }
+
+    #[test]
+    fn list_names_all_40_workloads() {
+        let out = run_ok(&["list"]);
+        assert_eq!(out.lines().count(), 41, "header + 40 rows");
+        assert!(out.contains("kmeans_invert_mapping"));
+        assert!(out.contains("cfd_step_factor"));
+    }
+
+    #[test]
+    fn config_reflects_overrides() {
+        let out = run_ok(&["config", "--mshrs", "64", "--bw", "96"]);
+        assert!(out.contains("64 MSHRs"));
+        assert!(out.contains("96 GB/s"));
+        assert!(out.contains("cores: 16"));
+    }
+
+    #[test]
+    fn trace_reports_statistics() {
+        let out = run_ok(&["trace", "sdk_vectoradd", "--blocks", "2"]);
+        assert!(out.contains("warps: 16"));
+        assert!(out.contains("total instructions:"));
+    }
+
+    #[test]
+    fn predict_outputs_cpi_and_stack_bar() {
+        let out = run_ok(&["predict", "sdk_vectoradd", "--blocks", "8"]);
+        assert!(out.contains("predicted CPI:"));
+        assert!(out.contains("=BASE:"), "stack bar legend expected: {out}");
+    }
+
+    #[test]
+    fn predict_weighted_selection_works() {
+        let out =
+            run_ok(&["predict", "lud_diagonal", "--blocks", "8", "--selection", "weighted"]);
+        assert!(out.contains("predicted CPI:"));
+    }
+
+    #[test]
+    fn simulate_and_compare_run() {
+        let out = run_ok(&["simulate", "sdk_vectoradd", "--blocks", "4"]);
+        assert!(out.contains("cycles:"));
+        let out = run_ok(&["compare", "sdk_vectoradd", "--blocks", "4"]);
+        assert!(out.contains("Naive_Interval"));
+        assert!(out.contains("MT_MSHR_BAND"));
+    }
+
+    #[test]
+    fn stacks_sweeps_warp_counts() {
+        let out = run_ok(&["stacks", "sdk_vectoradd", "--blocks", "8"]);
+        assert!(out.contains("QUEUE"));
+        assert_eq!(out.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 4);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(matches!(run_err(&["predict"]), CliError::Args(_)));
+        assert!(matches!(run_err(&["predict", "nope"]), CliError::UnknownKernel(_)));
+        assert!(matches!(run_err(&["frobnicate"]), CliError::UnknownCommand(_)));
+        assert!(matches!(
+            run_err(&["predict", "sdk_vectoradd", "--blocks", "4", "--policy", "fifo"]),
+            CliError::BadChoice { flag: "policy", .. }
+        ));
+        assert!(matches!(
+            run_err(&["predict", "sdk_vectoradd", "--bogus", "1"]),
+            CliError::Args(ArgError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn profile_reports_population_and_representative() {
+        let out = run_ok(&["profile", "cfd_compute_flux", "--blocks", "4"]);
+        assert!(out.contains("warp population"));
+        assert!(out.contains("representative warp"));
+        assert!(out.contains("divergence degree"));
+    }
+
+    #[test]
+    fn intervals_lists_the_representative_profile() {
+        let out = run_ok(&["intervals", "srad_kernel1", "--blocks", "4", "--limit", "5"]);
+        assert!(out.contains("representative warp"));
+        assert!(out.contains("load@pc") || out.contains("compute"));
+        assert!(out.contains("more (use --limit)"));
+    }
+
+    #[test]
+    fn gto_policy_flag_is_accepted() {
+        let out = run_ok(&["predict", "sdk_vectoradd", "--blocks", "4", "--policy", "gto"]);
+        assert!(out.contains("gto policy"));
+    }
+}

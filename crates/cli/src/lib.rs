@@ -1,0 +1,56 @@
+//! Library backing the `gpumech` command-line tool.
+//!
+//! Each subcommand is a function from parsed [`args::Args`] to a
+//! rendered string, so the whole CLI is unit-testable without spawning
+//! processes. The `gpumech` binary (`src/main.rs`) is a thin dispatcher.
+//!
+//! Subcommands:
+//!
+//! * `list` — the bundled workload catalogue,
+//! * `config` — the Table I machine description,
+//! * `trace <kernel>` — trace statistics (and optional JSON dump),
+//! * `predict <kernel>` — GPUMech prediction with a CPI-stack bar,
+//! * `simulate <kernel>` — cycle-level oracle run,
+//! * `compare <kernel>` — all five Table II models vs the oracle,
+//! * `stacks <kernel>` — CPI stacks across warp counts.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};
+
+/// Usage text shown by `gpumech help` and on argument errors.
+pub const USAGE: &str = "\
+gpumech — GPU performance modeling via interval analysis (MICRO 2014)
+
+USAGE:
+    gpumech <command> [args] [--flag value ...]
+
+COMMANDS:
+    list                         list the 40 bundled workloads
+    config                       print the Table I machine configuration
+    trace <kernel>               trace a workload and print statistics
+    predict <kernel>             predict CPI with the full GPUMech model
+    simulate <kernel>            run the cycle-level oracle
+    compare <kernel>             all five models vs the oracle
+    stacks <kernel>              CPI stacks across warp counts
+    profile <kernel>             interval-profile and warp-population statistics
+    intervals <kernel>           dump the representative warp's intervals (--limit N)
+    help                         this text
+
+COMMON FLAGS:
+    --blocks N        grid size override (default: each workload's grid)
+    --policy rr|gto   warp scheduling policy (default rr)
+    --warps N         resident warps per core (default 32)
+    --mshrs N         MSHR entries per core (default 32)
+    --bw GBPS         DRAM bandwidth in GB/s (default 192)
+    --sfu N           SFU lanes per core (default 32)
+
+PREDICT FLAGS:
+    --model M         naive|markov|mt|mt_mshr|full (default full)
+    --selection S     max|min|clustering|weighted (default clustering)
+
+TRACE FLAGS:
+    --json PATH       write the full trace as JSON
+";

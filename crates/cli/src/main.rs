@@ -1,0 +1,16 @@
+//! The `gpumech` binary: a thin dispatcher over [`gpumech_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match gpumech_cli::run(std::env::args().skip(1)) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The Chen-Aamodt first-order Markov-chain multithreading model
+//! (HPCA 2009), as described in Section VIII-A of the GPUMech paper.
+//!
+//! Each warp is a two-state random variable: *activated* (can issue) or
+//! *suspended* (stalled). An issued instruction suspends its warp with
+//! probability `p`; a suspended warp reactivates each cycle with
+//! probability `1/M`, where `M` is the mean suspension length. Warps
+//! interleave randomly — no scheduling policy — and each warp has at most
+//! one outstanding stall, the two limitations the paper identifies as the
+//! source of this baseline's error on divergent kernels. Both are
+//! deliberately preserved.
+//!
+//! The chain's state is the number of suspended warps `k ∈ 0..=N`; we
+//! iterate the distribution to steady state and read off the core IPC as
+//! the probability that at least one warp is active after wake-ups.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interval::IntervalProfile;
+
+/// Parameters of the Markov-chain model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChainModel {
+    /// Probability an issued instruction suspends its warp.
+    pub p: f64,
+    /// Mean suspension length in cycles.
+    pub m: f64,
+    /// Resident warps.
+    pub num_warps: usize,
+}
+
+impl MarkovChainModel {
+    /// Extracts `p` (stalling intervals per instruction) and `M` (mean
+    /// stall length) from an interval profile.
+    #[must_use]
+    pub fn from_profile(profile: &IntervalProfile, num_warps: usize) -> Self {
+        let stalls: Vec<f64> = profile
+            .intervals
+            .iter()
+            .filter(|iv| iv.stall_cycles > 0.0)
+            .map(|iv| iv.stall_cycles)
+            .collect();
+        let insts = profile.total_insts() as f64;
+        let p = if insts > 0.0 { stalls.len() as f64 / insts } else { 0.0 };
+        let m = if stalls.is_empty() {
+            1.0
+        } else {
+            stalls.iter().sum::<f64>() / stalls.len() as f64
+        };
+        Self { p, m: m.max(1.0), num_warps }
+    }
+
+    /// Steady-state core IPC of the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_warps` is zero.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        let n = self.num_warps;
+        assert!(n > 0, "at least one warp required");
+        if self.p <= 0.0 {
+            return 1.0; // never suspends: issues every cycle
+        }
+        let wake = (1.0 / self.m).min(1.0);
+        // Distribution over k = number of suspended warps.
+        let mut pi = vec![0.0f64; n + 1];
+        pi[0] = 1.0;
+        let mut ipc = 0.0;
+        for _ in 0..20_000 {
+            // Wake step: Binomial(k, wake) warps reactivate.
+            let mut post = vec![0.0f64; n + 1];
+            for (k, &mass) in pi.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                // P(j of k wake) via the multiplicative recurrence.
+                let mut pmf = (1.0 - wake).powi(k as i32); // j = 0
+                for j in 0..=k {
+                    post[k - j] += mass * pmf;
+                    if j < k {
+                        pmf *= (k - j) as f64 / (j + 1) as f64 * wake / (1.0 - wake).max(1e-300);
+                    }
+                }
+            }
+            // Issue step: if any warp is active, one instruction issues and
+            // suspends its warp with probability p.
+            let new_ipc: f64 = post[..n].iter().sum();
+            let mut next = vec![0.0f64; n + 1];
+            for (k, &mass) in post.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                if k < n {
+                    next[k + 1] += mass * self.p;
+                    next[k] += mass * (1.0 - self.p);
+                } else {
+                    next[k] += mass;
+                }
+            }
+            let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            ipc = new_ipc;
+            if delta < 1e-13 {
+                break;
+            }
+        }
+        ipc.clamp(0.0, 1.0)
+    }
+}
+
+/// Predicted core CPI of the Markov-chain baseline.
+#[must_use]
+pub fn markov_chain_cpi(profile: &IntervalProfile, num_warps: usize) -> f64 {
+    let ipc = MarkovChainModel::from_profile(profile, num_warps).ipc();
+    if ipc == 0.0 { 0.0 } else { 1.0 / ipc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Interval, StallCause};
+
+    fn profile(intervals: Vec<(u64, f64)>) -> IntervalProfile {
+        IntervalProfile {
+            intervals: intervals
+                .into_iter()
+                .map(|(insts, stall)| Interval {
+                    insts,
+                    stall_cycles: stall,
+                    cause: if stall > 0.0 { StallCause::Compute } else { StallCause::None },
+                    load_insts: 0,
+                    store_insts: 0,
+                    mem_reqs: 0.0,
+                    mshr_reqs: 0.0,
+                    dram_reqs: 0.0,
+                    ..Interval::default()
+                })
+                .collect(),
+            issue_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn parameters_from_profile() {
+        let p = profile(vec![(10, 40.0), (10, 20.0), (5, 0.0)]);
+        let m = MarkovChainModel::from_profile(&p, 8);
+        assert!((m.p - 2.0 / 25.0).abs() < 1e-12);
+        assert!((m.m - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_free_warp_runs_at_issue_rate() {
+        let p = profile(vec![(10, 0.0)]);
+        assert!((markov_chain_cpi(&p, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_warp_matches_renewal_theory() {
+        // One warp alternating 1/p instructions then M stall cycles:
+        // IPC = 1 / (1 + p*M). With p = 0.1, M = 9 → IPC = 1/1.9.
+        let p = profile(vec![(10, 9.0); 5]);
+        let model = MarkovChainModel::from_profile(&p, 1);
+        let expect = 1.0 / (1.0 + 0.1 * 9.0);
+        // The chain wakes and issues in the same cycle, so it slightly
+        // overestimates relative to exact renewal theory.
+        assert!(
+            (model.ipc() - expect).abs() < 0.05,
+            "got {}, renewal {expect}",
+            model.ipc()
+        );
+    }
+
+    #[test]
+    fn more_warps_hide_more_latency() {
+        let p = profile(vec![(2, 40.0); 10]);
+        let c1 = markov_chain_cpi(&p, 1);
+        let c4 = markov_chain_cpi(&p, 4);
+        let c16 = markov_chain_cpi(&p, 16);
+        assert!(c1 > c4 && c4 > c16, "{c1} > {c4} > {c16}");
+        assert!(c16 >= 1.0 - 1e-9, "never beats the issue rate");
+    }
+
+    #[test]
+    fn saturates_with_many_warps() {
+        let p = profile(vec![(5, 20.0); 10]);
+        let c = markov_chain_cpi(&p, 48);
+        assert!((c - 1.0).abs() < 0.05, "48 warps should saturate: {c}");
+    }
+
+    #[test]
+    fn chain_is_a_probability_distribution() {
+        // IPC always in (0, 1].
+        for warps in [1, 2, 7, 32] {
+            let p = profile(vec![(1, 300.0); 3]);
+            let ipc = MarkovChainModel::from_profile(&p, warps).ipc();
+            assert!(ipc > 0.0 && ipc <= 1.0, "warps={warps}: {ipc}");
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The comparison baselines of the paper's evaluation (Table II):
+//! the naive interval extension (Equation 1) and the Chen-Aamodt
+//! Markov-chain multithreading model (Section VIII-A).
+
+mod markov_chain;
+mod naive;
+
+pub use markov_chain::{markov_chain_cpi, MarkovChainModel};
+pub use naive::naive_interval_cpi;

@@ -1,0 +1,156 @@
+//! Deterministic 2-means clustering over warp feature vectors.
+//!
+//! The paper fixes k = 2: "one cluster is to capture the majority warps
+//! with similar interval profiles while the other cluster is to capture the
+//! outlier warps". Centroids are seeded with the two most separated points
+//! along the performance axis (deterministic — no RNG), then Lloyd
+//! iterations run to convergence.
+
+use super::features::FeatureVector;
+
+/// Result of the 2-means clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Cluster assignment (0 or 1) per input point.
+    pub assignment: Vec<u8>,
+    /// The two centroids.
+    pub centroids: [FeatureVector; 2],
+    /// Index of the larger cluster (ties go to cluster 0).
+    pub majority: u8,
+    /// Index of the point nearest the majority centroid — the
+    /// representative warp.
+    pub representative: usize,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+const MAX_ITERS: usize = 100;
+
+/// Runs 2-means on `points`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+#[must_use]
+pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
+    assert!(!points.is_empty(), "kmeans2 requires at least one point");
+
+    // Deterministic seeding: extremes of the perf axis (falling back to the
+    // insts axis when perf is uniform).
+    let lo = points
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| (a.perf, a.insts).partial_cmp(&(b.perf, b.insts)).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let hi = points
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| (a.perf, a.insts).partial_cmp(&(b.perf, b.insts)).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let mut centroids = [points[lo], points[hi]];
+
+    let mut assignment = vec![0u8; points.len()];
+    let mut iterations = 0;
+    for it in 0..MAX_ITERS {
+        iterations = it + 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let c = u8::from(p.dist2(&centroids[1]) < p.dist2(&centroids[0]));
+            if assignment[i] != c {
+                assignment[i] = c;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        for c in 0..2u8 {
+            let members: Vec<&FeatureVector> =
+                points.iter().zip(&assignment).filter(|(_, &a)| a == c).map(|(p, _)| p).collect();
+            if members.is_empty() {
+                continue; // keep the stale centroid; the cluster is empty
+            }
+            let n = members.len() as f64;
+            centroids[c as usize] = FeatureVector {
+                perf: members.iter().map(|p| p.perf).sum::<f64>() / n,
+                insts: members.iter().map(|p| p.insts).sum::<f64>() / n,
+            };
+        }
+    }
+
+    let size0 = assignment.iter().filter(|&&a| a == 0).count();
+    let majority = u8::from(size0 * 2 < points.len());
+    let centre = centroids[majority as usize];
+    let representative = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| assignment[*i] == majority)
+        .min_by(|(_, a), (_, b)| a.dist2(&centre).total_cmp(&b.dist2(&centre)))
+        .map(|(i, _)| i)
+        .expect("majority cluster is non-empty");
+
+    KmeansResult { assignment, centroids, majority, representative, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(perf: f64, insts: f64) -> FeatureVector {
+        FeatureVector { perf, insts }
+    }
+
+    #[test]
+    fn two_obvious_clusters_are_separated() {
+        let pts = vec![fv(0.1, 1.0), fv(0.12, 1.0), fv(0.11, 1.0), fv(2.0, 1.0), fv(2.1, 1.0)];
+        let r = kmeans2(&pts);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[0], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        // Majority = the 3-point cluster; representative is one of them.
+        assert!(r.representative < 3);
+    }
+
+    #[test]
+    fn representative_is_nearest_to_majority_centroid() {
+        let pts = vec![fv(1.0, 1.0), fv(1.2, 1.0), fv(0.8, 1.0), fv(5.0, 5.0)];
+        let r = kmeans2(&pts);
+        assert_eq!(r.representative, 0, "1.0 is closest to the mean of {{0.8,1.0,1.2}}");
+    }
+
+    #[test]
+    fn single_point_is_its_own_representative() {
+        let r = kmeans2(&[fv(1.0, 1.0)]);
+        assert_eq!(r.representative, 0);
+    }
+
+    #[test]
+    fn identical_points_converge_without_divergence() {
+        let pts = vec![fv(1.0, 1.0); 10];
+        let r = kmeans2(&pts);
+        assert!(r.representative < 10);
+        assert!(r.iterations <= MAX_ITERS);
+    }
+
+    #[test]
+    fn instruction_count_separates_equal_performance_warps() {
+        // Same perf, different lengths (the paper's motivation for the
+        // second feature dimension).
+        let pts =
+            vec![fv(1.0, 0.5), fv(1.0, 0.52), fv(1.0, 0.48), fv(1.0, 2.0), fv(1.0, 2.05)];
+        let r = kmeans2(&pts);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        assert!(r.representative < 3, "majority is the short-warp cluster");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let pts: Vec<FeatureVector> =
+            (0..50).map(|i| fv(1.0 + (i % 7) as f64 * 0.01, 1.0 + (i % 3) as f64 * 0.1)).collect();
+        assert_eq!(kmeans2(&pts), kmeans2(&pts));
+    }
+}

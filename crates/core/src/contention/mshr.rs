@@ -1,0 +1,125 @@
+//! MSHR queueing-delay model (Section IV-B1, Equations 18-20).
+
+use crate::interval::Interval;
+
+/// Sum of `ceil(j / m)` for `j = 1..=r` in closed form.
+fn sum_ceil(r: u64, m: u64) -> u64 {
+    if r == 0 || m == 0 {
+        return 0;
+    }
+    let q = r / m; // full groups of m
+    let rem = r % m;
+    m * q * (q + 1) / 2 + rem * (q + 1)
+}
+
+/// Expected MSHR queueing delay of one interval (Equations 18-20).
+///
+/// The interval's warps are assumed to issue their memory requests
+/// together: `#core_reqs_i = #warp_mem_reqs_i * #warps` (Equation 18).
+/// Request `j` in the file sees latency `avg_miss_latency * ceil(j/#MSHR)`,
+/// so the expected per-request queueing delay is the mean of that series
+/// minus the base latency (Equation 19). Queueing only arises when the
+/// requests exceed the file (Equation 20), and is charged per memory
+/// *instruction* — a divergent instruction's requests overlap. The
+/// instruction count is weighted by the probability the load actually
+/// leaves the L1 (`mshr_load_events`): loads that hit the L1 never occupy
+/// an MSHR, which is why the paper's `kmeans_invert_mapping` sees almost
+/// no MSHR delay despite maximal divergence (Section VII-A).
+#[must_use]
+pub fn mshr_delay(
+    interval: &Interval,
+    num_warps: usize,
+    num_mshrs: usize,
+    avg_miss_latency: f64,
+) -> f64 {
+    // Equation 18. MSHR-allocating requests only (loads that miss L1).
+    let core_reqs = (interval.mshr_reqs * num_warps as f64).round() as u64;
+    if core_reqs <= num_mshrs as u64 || interval.mshr_load_events <= 0.0 {
+        return 0.0; // Equation 20, no-contention branch.
+    }
+    // Equation 19.
+    let expected_latency =
+        avg_miss_latency * sum_ceil(core_reqs, num_mshrs as u64) as f64 / core_reqs as f64;
+    let exp_queuing_delay = expected_latency - avg_miss_latency;
+    // Equation 20: per L1-missing memory instruction.
+    exp_queuing_delay * interval.mshr_load_events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::StallCause;
+
+    fn iv(loads: u64, mshr_reqs: f64) -> Interval {
+        Interval {
+            insts: loads + 2,
+            stall_cycles: 0.0,
+            cause: StallCause::None,
+            load_insts: loads,
+            mem_reqs: mshr_reqs,
+            mshr_reqs,
+            mshr_load_events: loads as f64,
+            ..Interval::default()
+        }
+    }
+
+    #[test]
+    fn sum_ceil_closed_form_matches_naive() {
+        for r in 0..200u64 {
+            for m in 1..10u64 {
+                let naive: u64 = (1..=r).map(|j| j.div_ceil(m)).sum();
+                assert_eq!(sum_ceil(r, m), naive, "r={r} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_delay_when_requests_fit_in_the_file() {
+        // Figure 9's premise: delay starts only once the file saturates.
+        let d = mshr_delay(&iv(1, 1.0), 32, 32, 420.0);
+        assert_eq!(d, 0.0, "32 requests fit exactly in 32 MSHRs");
+    }
+
+    #[test]
+    fn figure9_shape_fourth_warp_queues() {
+        // 6 MSHRs, 4 warps, 2 requests per warp = 8 core requests:
+        // latencies L*[1,1,1,1,1,1,2,2]/8 → expected = 1.25 L → delay 0.25 L
+        // per request, × 1 memory instruction.
+        let d = mshr_delay(&iv(1, 2.0), 4, 6, 400.0);
+        assert!((d - 100.0).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn delay_scales_with_divergence() {
+        let coalesced = mshr_delay(&iv(1, 1.0), 32, 32, 420.0);
+        let divergent = mshr_delay(&iv(1, 32.0), 32, 32, 420.0);
+        assert_eq!(coalesced, 0.0);
+        assert!(divergent > 420.0 * 10.0, "32x32 requests vs 32 MSHRs queue ~16 rounds: {divergent}");
+    }
+
+    #[test]
+    fn more_mshrs_reduce_delay() {
+        let small = mshr_delay(&iv(1, 8.0), 32, 32, 420.0);
+        let big = mshr_delay(&iv(1, 8.0), 32, 256, 420.0);
+        assert!(small > big, "{small} vs {big}");
+        assert_eq!(mshr_delay(&iv(1, 8.0), 32, 1024, 420.0), 0.0);
+    }
+
+    #[test]
+    fn delay_is_charged_per_instruction_not_per_request() {
+        // Same per-warp request count, twice the instructions → exactly
+        // twice the charged delay.
+        let one = mshr_delay(&iv(1, 16.0), 32, 32, 420.0);
+        let two = Interval { load_insts: 2, ..iv(2, 16.0) };
+        let d2 = mshr_delay(&two, 32, 32, 420.0);
+        assert!(one > 0.0);
+        assert!((d2 - 2.0 * one).abs() < 1e-9, "charged per inst: {d2} vs 2x{one}");
+    }
+
+    #[test]
+    fn zero_load_interval_has_no_delay() {
+        let mut i = iv(0, 40.0);
+        i.load_insts = 0;
+        assert_eq!(mshr_delay(&i, 32, 32, 420.0), 0.0);
+    }
+}

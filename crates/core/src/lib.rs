@@ -1,0 +1,58 @@
+//! The GPUMech performance model — interval analysis for GPU architectures.
+//!
+//! This crate implements the paper's contribution end to end:
+//!
+//! 1. **Interval algorithm** ([`interval`]) — walks a warp's dynamic trace
+//!    under an in-order, 1-instruction/cycle issue model and builds its
+//!    *interval profile*: runs of back-to-back issues separated by stall
+//!    periods, each stall attributed to the compute or memory instruction
+//!    that caused it (Section III-B, Equations 2 and 4).
+//! 2. **Representative-warp selection** ([`cluster`]) — k-means (k = 2) over
+//!    per-warp `(performance, instruction-count)` feature vectors; the warp
+//!    nearest the centre of the larger cluster represents the kernel
+//!    (Section III-C, Equations 5-6, Figure 7).
+//! 3. **Multithreading model** ([`multiwarp`]) — scales the representative
+//!    warp to N resident warps by counting *non-overlapped instructions*
+//!    under round-robin or greedy-then-oldest scheduling (Section IV-A,
+//!    Equations 7-16).
+//! 4. **Resource-contention model** ([`contention`]) — queueing delays from
+//!    the finite MSHR file and the bandwidth-limited DRAM channel under
+//!    memory divergence (Section IV-B, Equations 17-23).
+//! 5. **CPI stacks** ([`cpistack`]) — the per-category cycle breakdown of
+//!    Section VII / Table III.
+//! 6. **Baselines** ([`baselines`]) — the naive interval extension
+//!    (Equation 1) and the Chen-Aamodt Markov-chain model the paper
+//!    compares against (Section VIII-A).
+//!
+//! The one-stop entry point is [`Gpumech`]:
+//!
+//! ```
+//! use gpumech_core::{Gpumech, SchedulingPolicy};
+//! use gpumech_isa::SimConfig;
+//! use gpumech_trace::workloads;
+//!
+//! let w = workloads::by_name("cfd_step_factor").expect("bundled").with_blocks(16);
+//! let report = Gpumech::new(SimConfig::default())
+//!     .predict(&w, SchedulingPolicy::RoundRobin)?;
+//! println!("CPI = {:.2}, of which DRAM queue = {:.2}",
+//!          report.cpi.total(), report.cpi.queue);
+//! # Ok::<(), gpumech_core::ModelError>(())
+//! ```
+
+pub mod baselines;
+pub mod cluster;
+pub mod contention;
+pub mod cpistack;
+pub mod interval;
+pub mod model;
+pub mod multiwarp;
+
+pub use cluster::{feature_vectors, kmeans2, select_representative, SelectionMethod};
+pub use contention::{contention_cpi, ContentionOptions, ContentionResult};
+pub use cpistack::{CpiStack, StallCategory};
+pub use interval::{build_profile, summarize_population, Interval, IntervalProfile, PopulationSummary, ProfileSummary, StallCause};
+pub use model::{Gpumech, Model, ModelError, Prediction};
+pub use multiwarp::{multithreading_cpi, MultithreadingResult};
+
+// Re-export the vocabulary types callers need alongside the model.
+pub use gpumech_isa::SchedulingPolicy;

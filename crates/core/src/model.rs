@@ -1,0 +1,579 @@
+//! The end-to-end GPUMech pipeline (Figure 5): input collection →
+//! per-warp interval profiles → representative-warp selection → multi-warp
+//! model → contention model → CPI stack.
+
+use std::fmt;
+
+use gpumech_isa::{ConfigError, SchedulingPolicy, SimConfig};
+use gpumech_mem::{simulate_hierarchy, MemStats};
+use gpumech_trace::{KernelTrace, TraceError, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{markov_chain_cpi, naive_interval_cpi};
+use crate::cluster::{select_representative, SelectionMethod};
+use crate::contention::{contention_cpi, ContentionResult};
+use crate::cpistack::CpiStack;
+use crate::interval::{build_profile, IntervalProfile};
+use crate::multiwarp::{multithreading_cpi, MultithreadingResult};
+
+/// The evaluated models of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// Optimistic overlap (Equation 1).
+    NaiveInterval,
+    /// Chen-Aamodt Markov-chain model (Section VIII-A).
+    MarkovChain,
+    /// Multithreading model only (Section IV-A).
+    Mt,
+    /// Multithreading + MSHR contention (Section IV-B1).
+    MtMshr,
+    /// Multithreading + MSHR + DRAM bandwidth — full GPUMech.
+    MtMshrBand,
+}
+
+impl Model {
+    /// All models in Table II order.
+    pub const ALL: [Model; 5] =
+        [Model::NaiveInterval, Model::MarkovChain, Model::Mt, Model::MtMshr, Model::MtMshrBand];
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Model::NaiveInterval => "Naive_Interval",
+            Model::MarkovChain => "Markov_Chain",
+            Model::Mt => "MT",
+            Model::MtMshr => "MT_MSHR",
+            Model::MtMshrBand => "MT_MSHR_BAND",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error produced by the modeling pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Functional tracing failed.
+    Trace(TraceError),
+    /// The machine configuration is inconsistent.
+    InvalidConfig(ConfigError),
+    /// The kernel produced no instructions to model.
+    EmptyKernel,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Trace(e) => write!(f, "trace generation failed: {e}"),
+            ModelError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            ModelError::EmptyKernel => f.write_str("kernel produced no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Trace(e) => Some(e),
+            ModelError::InvalidConfig(e) => Some(e),
+            ModelError::EmptyKernel => None,
+        }
+    }
+}
+
+impl From<TraceError> for ModelError {
+    fn from(e: TraceError) -> Self {
+        ModelError::Trace(e)
+    }
+}
+
+/// The reusable intermediate of the pipeline: cache statistics and per-warp
+/// interval profiles. Computing it once and predicting many times is how
+/// the harnesses evaluate all five models (and both policies) per kernel —
+/// the same reuse the paper exploits when exploring hardware
+/// configurations (Section VI-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Per-PC cache statistics of the functional hierarchy simulation.
+    pub mem: MemStats,
+    /// Interval profile of every warp in the grid.
+    pub profiles: Vec<IntervalProfile>,
+    /// Warps resident per core under the analyzed configuration.
+    pub effective_warps: usize,
+}
+
+/// The model's output for one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Which Table II model produced this prediction.
+    pub model: Model,
+    /// Scheduling policy modeled.
+    pub policy: SchedulingPolicy,
+    /// The CPI stack; [`CpiStack::total`] is the predicted core CPI.
+    pub cpi: CpiStack,
+    /// Index of the representative warp in the grid.
+    pub representative: usize,
+    /// Warps modeled per core.
+    pub warps_per_core: usize,
+    /// Representative warp's single-warp CPI.
+    pub single_warp_cpi: f64,
+    /// Multithreading-model detail (Equations 7-16).
+    pub multithreading: MultithreadingResult,
+    /// Contention-model detail (zeroed for models that exclude it).
+    pub contention: ContentionResult,
+}
+
+impl Prediction {
+    /// Predicted core CPI (`CPI_final` of Equation 3).
+    #[must_use]
+    pub fn cpi_total(&self) -> f64 {
+        self.cpi.total()
+    }
+
+    /// Predicted core IPC.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        let c = self.cpi_total();
+        if c == 0.0 { 0.0 } else { 1.0 / c }
+    }
+}
+
+fn zero_contention(n: usize) -> ContentionResult {
+    ContentionResult {
+        cpi: 0.0,
+        cpi_mshr: 0.0,
+        cpi_queue: 0.0,
+        cpi_sfu: 0.0,
+        mshr_delays: vec![0.0; n],
+        bandwidth_delays: vec![0.0; n],
+    }
+}
+
+/// The GPUMech model, configured for one machine (Table I by default).
+#[derive(Debug, Clone)]
+pub struct Gpumech {
+    cfg: SimConfig,
+}
+
+impl Gpumech {
+    /// Creates a model for the given machine configuration.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The machine configuration being modeled.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Full GPUMech prediction (MT_MSHR_BAND, clustering selection) for a
+    /// workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the configuration is invalid, tracing
+    /// fails, or the kernel is empty.
+    pub fn predict(
+        &self,
+        workload: &Workload,
+        policy: SchedulingPolicy,
+    ) -> Result<Prediction, ModelError> {
+        let trace = workload.trace()?;
+        self.predict_trace(&trace, policy, Model::MtMshrBand, SelectionMethod::Clustering)
+    }
+
+    /// Prediction for an explicit Table II model and selection method.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpumech::predict`].
+    pub fn predict_trace(
+        &self,
+        trace: &KernelTrace,
+        policy: SchedulingPolicy,
+        model: Model,
+        selection: SelectionMethod,
+    ) -> Result<Prediction, ModelError> {
+        let analysis = self.analyze(trace)?;
+        Ok(self.predict_from_analysis(&analysis, policy, model, selection))
+    }
+
+    /// Runs the input collector (functional cache simulation) and the
+    /// interval algorithm for every warp — the per-kernel one-time cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] or [`ModelError::EmptyKernel`].
+    pub fn analyze(&self, trace: &KernelTrace) -> Result<Analysis, ModelError> {
+        self.cfg.validate().map_err(ModelError::InvalidConfig)?;
+        if trace.total_insts() == 0 {
+            return Err(ModelError::EmptyKernel);
+        }
+        let mem = simulate_hierarchy(trace, &self.cfg);
+        let profiles: Vec<IntervalProfile> =
+            trace.warps.iter().map(|w| build_profile(w, &self.cfg, &mem)).collect();
+        let effective_warps = (trace.launch.blocks_per_core(self.cfg.max_warps_per_core)
+            * trace.launch.warps_per_block())
+        .min(trace.launch.total_warps());
+        Ok(Analysis { mem, profiles, effective_warps })
+    }
+
+    /// Predicts from a precomputed [`Analysis`] — cheap enough to call for
+    /// every (model, policy) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis contains no warps (cannot be produced by
+    /// [`Gpumech::analyze`]).
+    #[must_use]
+    pub fn predict_from_analysis(
+        &self,
+        analysis: &Analysis,
+        policy: SchedulingPolicy,
+        model: Model,
+        selection: SelectionMethod,
+    ) -> Prediction {
+        let rep = select_representative(&analysis.profiles, selection);
+        self.predict_profile(analysis, rep, policy, model)
+    }
+
+    /// Runs the multi-warp + contention models for one explicit warp's
+    /// profile (the building block of both the standard single-
+    /// representative prediction and the weighted-clusters extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rep` is out of range for the analysis.
+    #[must_use]
+    pub fn predict_profile(
+        &self,
+        analysis: &Analysis,
+        rep: usize,
+        policy: SchedulingPolicy,
+        model: Model,
+    ) -> Prediction {
+        let profile = &analysis.profiles[rep];
+        let warps = analysis.effective_warps.max(1);
+        let n_intervals = profile.intervals.len();
+
+        let mt = multithreading_cpi(profile, warps, policy);
+        let (mt, rc) = match model {
+            Model::NaiveInterval => {
+                let cpi = naive_interval_cpi(profile, warps);
+                (
+                    MultithreadingResult {
+                        cpi,
+                        total_nonoverlapped: 0.0,
+                        per_interval: vec![0.0; n_intervals],
+                        num_warps: warps,
+                    },
+                    zero_contention(n_intervals),
+                )
+            }
+            Model::MarkovChain => {
+                let cpi = markov_chain_cpi(profile, warps);
+                (
+                    MultithreadingResult {
+                        cpi,
+                        total_nonoverlapped: 0.0,
+                        per_interval: vec![0.0; n_intervals],
+                        num_warps: warps,
+                    },
+                    zero_contention(n_intervals),
+                )
+            }
+            Model::Mt => (mt, zero_contention(n_intervals)),
+            Model::MtMshr => {
+                let mut rc =
+                    contention_cpi(profile, &self.cfg, warps, analysis.mem.avg_miss_latency(), mt.cpi);
+                rc.cpi_queue = 0.0;
+                rc.cpi_sfu = 0.0;
+                rc.bandwidth_delays = vec![0.0; n_intervals];
+                rc.cpi = rc.cpi_mshr;
+                (mt, rc)
+            }
+            Model::MtMshrBand => {
+                let rc =
+                    contention_cpi(profile, &self.cfg, warps, analysis.mem.avg_miss_latency(), mt.cpi);
+                (mt, rc)
+            }
+        };
+
+        let cpi = CpiStack::multi_warp(profile, &analysis.mem, &mt, &rc);
+        Prediction {
+            model,
+            policy,
+            cpi,
+            representative: rep,
+            warps_per_core: warps,
+            single_warp_cpi: profile.single_warp_cpi(),
+            multithreading: mt,
+            contention: rc,
+        }
+    }
+
+    /// **Extension beyond the paper**: population-weighted two-cluster
+    /// prediction.
+    ///
+    /// The paper represents a kernel by the single warp nearest the
+    /// *larger* cluster's centroid, which systematically underestimates
+    /// kernels whose two warp populations both carry significant runtime
+    /// (the residual errors visible in Figure 7). This method predicts
+    /// once per cluster — using each cluster's own representative — and
+    /// blends the CPI stacks by cluster population. With homogeneous warps
+    /// it degenerates to the paper's method.
+    ///
+    /// Linearity keeps Equation 3 intact: the blended stack still sums to
+    /// the blended `CPI_mt + CPI_rc`.
+    #[must_use]
+    pub fn predict_weighted_clusters(
+        &self,
+        analysis: &Analysis,
+        policy: SchedulingPolicy,
+        model: Model,
+    ) -> Prediction {
+        let feats = crate::cluster::feature_vectors(&analysis.profiles);
+        let km = crate::cluster::kmeans2(&feats);
+        let n = feats.len();
+
+        // Per-cluster representative: the member nearest its centroid.
+        let rep_of = |cluster: u8| -> Option<usize> {
+            let centre = km.centroids[cluster as usize];
+            feats
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| km.assignment[*i] == cluster)
+                .min_by(|(_, a), (_, b)| a.dist2(&centre).total_cmp(&b.dist2(&centre)))
+                .map(|(i, _)| i)
+        };
+
+        let mut blended: Option<Prediction> = None;
+        for cluster in 0..2u8 {
+            let size = km.assignment.iter().filter(|&&a| a == cluster).count();
+            let Some(rep) = rep_of(cluster) else { continue };
+            let weight = size as f64 / n as f64;
+            let p = self.predict_profile(analysis, rep, policy, model);
+            blended = Some(match blended {
+                None => weighted(&p, weight),
+                Some(acc) => {
+                    let w = weighted(&p, weight);
+                    let mut out = acc;
+                    out.cpi = out.cpi.plus(&w.cpi);
+                    out.multithreading.cpi += w.multithreading.cpi;
+                    out.multithreading.total_nonoverlapped +=
+                        w.multithreading.total_nonoverlapped;
+                    out.contention.cpi += w.contention.cpi;
+                    out.contention.cpi_mshr += w.contention.cpi_mshr;
+                    out.contention.cpi_queue += w.contention.cpi_queue;
+                    out.contention.cpi_sfu += w.contention.cpi_sfu;
+                    out.single_warp_cpi += w.single_warp_cpi;
+                    out
+                }
+            });
+        }
+        let mut p = blended.expect("kmeans over non-empty input has a cluster");
+        p.representative = km.representative;
+        p
+    }
+}
+
+/// Scales a prediction's additive components by `weight` (helper for the
+/// weighted-clusters blend).
+fn weighted(p: &Prediction, weight: f64) -> Prediction {
+    let mut out = p.clone();
+    out.cpi = p.cpi.scaled(weight);
+    out.multithreading.cpi *= weight;
+    out.multithreading.total_nonoverlapped *= weight;
+    out.contention.cpi *= weight;
+    out.contention.cpi_mshr *= weight;
+    out.contention.cpi_queue *= weight;
+    out.contention.cpi_sfu *= weight;
+    out.single_warp_cpi *= weight;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_trace::workloads;
+
+    fn model() -> Gpumech {
+        Gpumech::new(SimConfig::default())
+    }
+
+    fn trace_of(name: &str, blocks: usize) -> KernelTrace {
+        workloads::by_name(name).expect("bundled").with_blocks(blocks).trace().expect("traces")
+    }
+
+    #[test]
+    fn full_pipeline_produces_consistent_prediction() {
+        let w = workloads::by_name("cfd_step_factor").unwrap().with_blocks(16);
+        let p = model().predict(&w, SchedulingPolicy::RoundRobin).unwrap();
+        assert_eq!(p.model, Model::MtMshrBand);
+        assert!(p.cpi_total() >= 1.0, "core CPI below the issue bound: {}", p.cpi_total());
+        assert!(p.single_warp_cpi > p.cpi_total(), "multithreading must help");
+        assert!((p.ipc() - 1.0 / p.cpi_total()).abs() < 1e-12);
+        // Stack identity: total = CPI_mt + CPI_rc (Equation 3).
+        assert!(
+            (p.cpi_total() - (p.multithreading.cpi + p.contention.cpi)).abs() < 1e-9,
+            "Equation 3 violated"
+        );
+    }
+
+    #[test]
+    fn table2_models_order_errors_on_a_divergent_kernel() {
+        // On a divergent kernel the optimistic models must predict lower
+        // CPI than the contention-aware ones.
+        let t = trace_of("kmeans_invert_mapping", 16);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let cpi = |mo: Model| {
+            m.predict_from_analysis(&a, SchedulingPolicy::RoundRobin, mo, SelectionMethod::Clustering)
+                .cpi_total()
+        };
+        let naive = cpi(Model::NaiveInterval);
+        let mt = cpi(Model::Mt);
+        let mshr = cpi(Model::MtMshr);
+        let band = cpi(Model::MtMshrBand);
+        assert!(naive <= mt + 1e-9, "naive is the most optimistic: {naive} vs {mt}");
+        assert!(mt <= mshr + 1e-9, "MSHR adds delay: {mt} vs {mshr}");
+        assert!(mshr <= band + 1e-9, "bandwidth adds delay: {mshr} vs {band}");
+        assert!(band > mt, "divergent kernel must show contention");
+    }
+
+    #[test]
+    fn coalesced_kernel_has_negligible_mshr_delay() {
+        let t = trace_of("sdk_vectoradd", 16);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let p = m.predict_from_analysis(
+            &a,
+            SchedulingPolicy::RoundRobin,
+            Model::MtMshrBand,
+            SelectionMethod::Clustering,
+        );
+        assert!(
+            p.contention.cpi_mshr < 0.05 * p.cpi_total(),
+            "coalesced loads fit the MSHR file: {} of {}",
+            p.contention.cpi_mshr,
+            p.cpi_total()
+        );
+    }
+
+    #[test]
+    fn analysis_reuse_matches_direct_prediction() {
+        let t = trace_of("parboil_spmv", 8);
+        let m = model();
+        let direct = m
+            .predict_trace(&t, SchedulingPolicy::GreedyThenOldest, Model::MtMshrBand, SelectionMethod::Clustering)
+            .unwrap();
+        let a = m.analyze(&t).unwrap();
+        let reused = m.predict_from_analysis(
+            &a,
+            SchedulingPolicy::GreedyThenOldest,
+            Model::MtMshrBand,
+            SelectionMethod::Clustering,
+        );
+        assert_eq!(direct, reused);
+    }
+
+    #[test]
+    fn effective_warps_respects_residency() {
+        let m = Gpumech::new(SimConfig::default().with_warps_per_core(8));
+        // 8 warps/block but only 8 resident → 1 block resident.
+        let t = trace_of("sdk_vectoradd", 16);
+        let a = m.analyze(&t).unwrap();
+        assert_eq!(a.effective_warps, 8);
+        let full = model().analyze(&t).unwrap();
+        assert_eq!(full.effective_warps, 32);
+    }
+
+    #[test]
+    fn model_display_names_match_table2() {
+        let names: Vec<String> = Model::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            names,
+            vec!["Naive_Interval", "Markov_Chain", "MT", "MT_MSHR", "MT_MSHR_BAND"]
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let mut cfg = SimConfig::default();
+        cfg.num_mshrs = 0;
+        let t = trace_of("sdk_vectoradd", 2);
+        assert!(matches!(
+            Gpumech::new(cfg).analyze(&t),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_clusters_blends_between_the_extremes() {
+        // On a bimodal kernel, the blended prediction must lie between the
+        // per-cluster extremes (MIN/MAX selections bound it loosely).
+        let t = trace_of("lud_diagonal", 16);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let policy = SchedulingPolicy::RoundRobin;
+        let lo = m
+            .predict_from_analysis(&a, policy, Model::MtMshrBand, SelectionMethod::Max)
+            .cpi_total();
+        let hi = m
+            .predict_from_analysis(&a, policy, Model::MtMshrBand, SelectionMethod::Min)
+            .cpi_total();
+        let blended = m.predict_weighted_clusters(&a, policy, Model::MtMshrBand);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        assert!(
+            blended.cpi_total() >= lo - 1e-9 && blended.cpi_total() <= hi + 1e-9,
+            "blend {} outside [{lo}, {hi}]",
+            blended.cpi_total()
+        );
+        // Equation 3 survives the blend.
+        assert!(
+            (blended.cpi_total()
+                - (blended.multithreading.cpi + blended.contention.cpi))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn weighted_clusters_degenerates_on_homogeneous_kernels() {
+        let t = trace_of("sdk_vectoradd", 8);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let single = m.predict_from_analysis(
+            &a,
+            SchedulingPolicy::RoundRobin,
+            Model::MtMshrBand,
+            SelectionMethod::Clustering,
+        );
+        let blended =
+            m.predict_weighted_clusters(&a, SchedulingPolicy::RoundRobin, Model::MtMshrBand);
+        let rel = (blended.cpi_total() - single.cpi_total()).abs() / single.cpi_total();
+        assert!(rel < 0.05, "homogeneous blend should match single: {rel}");
+    }
+
+    #[test]
+    fn gto_and_rr_predictions_differ_but_are_sane() {
+        let t = trace_of("cfd_compute_flux", 16);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let rr = m.predict_from_analysis(
+            &a,
+            SchedulingPolicy::RoundRobin,
+            Model::Mt,
+            SelectionMethod::Clustering,
+        );
+        let gto = m.predict_from_analysis(
+            &a,
+            SchedulingPolicy::GreedyThenOldest,
+            Model::Mt,
+            SelectionMethod::Clustering,
+        );
+        assert!(rr.cpi_total() >= 1.0 && gto.cpi_total() >= 1.0);
+    }
+}

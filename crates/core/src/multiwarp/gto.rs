@@ -1,0 +1,106 @@
+//! Non-overlapped instructions under greedy-then-oldest scheduling
+//! (Section IV-A3, Equations 12-16).
+
+use crate::interval::Interval;
+
+/// Expected non-overlapped instructions of one interval under GTO.
+///
+/// GTO drains whole warps during a stall; the "oldest" rule then forces the
+/// representative warp to wait for warps that started issuing after its
+/// stall already ended (Figure 8(b)). Per interval `i`:
+///
+/// * `issue_prob_in_stall_i = min(issue_prob * stall_cycles_i, 1)` — the
+///   probability a remaining warp issues during the stall window
+///   (Equation 15; printed as `max` in the paper, corrected here so it
+///   stays a probability — the `min` form is what reproduces the paper's
+///   own Figure 8(b) numbers),
+/// * `#issue_warps_in_stall_i = issue_prob_in_stall_i * (#warps - 1)`
+///   (Equation 14),
+/// * `#issue_insts_in_stall_i = avg_interval_insts * #issue_warps_in_stall_i`
+///   (Equations 12-13),
+/// * `#nonoverlapped_i = max(#issue_insts - stall_cycles * issue_rate, 0)`
+///   (Equation 16; printed as `min(..., 0)`, corrected per the
+///   accompanying text: overflow beyond the stall is what fails to
+///   overlap).
+#[must_use]
+pub fn gto_nonoverlapped(
+    interval: &Interval,
+    issue_prob: f64,
+    num_warps: usize,
+    avg_interval_insts: f64,
+    issue_rate: f64,
+) -> f64 {
+    if num_warps <= 1 {
+        return 0.0;
+    }
+    let issue_prob_in_stall = (issue_prob * interval.stall_cycles).min(1.0);
+    let issue_warps_in_stall = issue_prob_in_stall * (num_warps - 1) as f64;
+    let issue_insts_in_stall = avg_interval_insts * issue_warps_in_stall;
+    (issue_insts_in_stall - interval.stall_cycles * issue_rate).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::StallCause;
+
+    fn iv(insts: u64, stall: f64) -> Interval {
+        Interval {
+            insts,
+            stall_cycles: stall,
+            cause: StallCause::None,
+            load_insts: 0,
+            store_insts: 0,
+            mem_reqs: 0.0,
+            mshr_reqs: 0.0,
+            dram_reqs: 0.0,
+            ..Interval::default()
+        }
+    }
+
+    #[test]
+    fn figure8b_example() {
+        // 3 insts / 6 stalls / 4 warps / p = 1/3 / avg = 3:
+        // p_stall = min(2,1) = 1; warps = 3; issued = 9; nonoverlap = 3.
+        let n = gto_nonoverlapped(&iv(3, 6.0), 1.0 / 3.0, 4, 3.0, 1.0);
+        assert!((n - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_stalls_fully_overlap() {
+        // Long stall window but few issuing warps: issued < stall → 0.
+        let n = gto_nonoverlapped(&iv(3, 100.0), 0.2, 2, 3.0, 1.0);
+        assert_eq!(n, 0.0, "3 issued instructions hide inside 100 stall cycles");
+    }
+
+    #[test]
+    fn probability_saturates_at_one() {
+        // Doubling an already-saturating stall must not double the count
+        // (it would with the paper's literal `max`).
+        let a = gto_nonoverlapped(&iv(3, 10.0), 0.5, 4, 4.0, 1.0);
+        let b = gto_nonoverlapped(&iv(3, 20.0), 0.5, 4, 4.0, 1.0);
+        // a: issued = 12, stall 10 → 2. b: issued = 12, stall 20 → 0.
+        assert!((a - 2.0).abs() < 1e-12);
+        assert_eq!(b, 0.0);
+    }
+
+    #[test]
+    fn one_warp_has_no_nonoverlap() {
+        assert_eq!(gto_nonoverlapped(&iv(3, 6.0), 0.9, 1, 3.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn nonoverlap_is_never_negative() {
+        for stall in [0.0, 1.0, 5.0, 50.0, 500.0] {
+            for warps in [2, 4, 8, 32] {
+                let n = gto_nonoverlapped(&iv(3, stall), 0.3, warps, 2.5, 1.0);
+                assert!(n >= 0.0, "stall={stall} warps={warps} → {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_stall_interval_contributes_nothing() {
+        assert_eq!(gto_nonoverlapped(&iv(10, 0.0), 0.5, 8, 5.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Non-overlapped instructions under round-robin scheduling
+//! (Section IV-A2, Equations 10-11).
+
+use crate::interval::Interval;
+
+/// Expected non-overlapped instructions of one interval under round-robin.
+///
+/// Round-robin issues from every warp in turn regardless of whether the
+/// representative warp is stalled, so instructions issued inside the
+/// interval's *waiting slots* — the gaps between consecutive issues of the
+/// representative warp — do not hide any stall cycles:
+///
+/// * `#waiting_slots_i = #interval_insts_i - 1` (Equation 10),
+/// * `#nonoverlapped_i = issue_prob * (#warps - 1) * #waiting_slots_i`
+///   (Equation 11).
+#[must_use]
+pub fn rr_nonoverlapped(interval: &Interval, issue_prob: f64, num_warps: usize) -> f64 {
+    if num_warps <= 1 || interval.insts == 0 {
+        return 0.0;
+    }
+    let waiting_slots = (interval.insts - 1) as f64;
+    issue_prob * (num_warps - 1) as f64 * waiting_slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::StallCause;
+
+    fn iv(insts: u64, stall: f64) -> Interval {
+        Interval {
+            insts,
+            stall_cycles: stall,
+            cause: StallCause::None,
+            load_insts: 0,
+            store_insts: 0,
+            mem_reqs: 0.0,
+            mshr_reqs: 0.0,
+            dram_reqs: 0.0,
+            ..Interval::default()
+        }
+    }
+
+    #[test]
+    fn figure8a_example() {
+        // 3 insts, 6 stalls, 4 warps, issue_prob 1/3 → 2 slots → 1/3*3*2 = 2.
+        assert!((rr_nonoverlapped(&iv(3, 6.0), 1.0 / 3.0, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_instruction_interval_has_no_waiting_slots() {
+        assert_eq!(rr_nonoverlapped(&iv(1, 10.0), 0.5, 8), 0.0);
+    }
+
+    #[test]
+    fn one_warp_has_no_remaining_warps() {
+        assert_eq!(rr_nonoverlapped(&iv(5, 10.0), 0.5, 1), 0.0);
+    }
+
+    #[test]
+    fn scales_linearly_in_warps_and_probability() {
+        let base = rr_nonoverlapped(&iv(5, 10.0), 0.25, 5);
+        assert!((rr_nonoverlapped(&iv(5, 10.0), 0.5, 5) - 2.0 * base).abs() < 1e-12);
+        assert!((rr_nonoverlapped(&iv(5, 10.0), 0.25, 9) - 2.0 * base).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,788 @@
+//! A compact SIMT kernel IR and a structured-control-flow builder.
+//!
+//! The paper's input collector uses GPUOcelot to execute real PTX; this
+//! reproduction substitutes a small register-machine IR that the functional
+//! simulator in `gpumech-trace` executes per-thread with a SIMT
+//! reconvergence stack. The IR is expressive enough to create every
+//! behaviour the model cares about: register dependency chains,
+//! data-dependent control divergence, and arbitrarily divergent memory
+//! address streams.
+//!
+//! Values are untyped `u64`s with wrapping arithmetic; the [`InstKind`]
+//! carries the latency class, the [`ValueOp`] carries value semantics, and
+//! the two are orthogonal (a "floating point" instruction computes on bit
+//! patterns — only its latency matters to the model).
+//!
+//! # Example
+//!
+//! ```
+//! use gpumech_isa::{KernelBuilder, Operand, ValueOp, MemSpace};
+//!
+//! // A vector-add-like kernel: r0 = tid*4; x = load base+r0; store out+r0.
+//! let mut b = KernelBuilder::new("vecadd");
+//! let base = b.param(0);
+//! let out = b.param(1);
+//! let off = b.alu(ValueOp::Mul, &[Operand::Tid, Operand::Imm(4)]);
+//! let addr = b.alu(ValueOp::Add, &[base, Operand::Reg(off)]);
+//! let x = b.load(MemSpace::Global, Operand::Reg(addr));
+//! let y = b.fp_add(&[Operand::Reg(x), Operand::Imm(1)]);
+//! let oaddr = b.alu(ValueOp::Add, &[out, Operand::Reg(off)]);
+//! b.store(MemSpace::Global, Operand::Reg(oaddr), Operand::Reg(y));
+//! let kernel = b.finish(vec![0x1000_0000, 0x2000_0000]);
+//! assert!(kernel.validate().is_ok());
+//! assert_eq!(kernel.insts.len(), 7); // 6 + trailing exit
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::opcode::{InstKind, MemSpace};
+
+/// A virtual register index. Each thread owns [`NUM_REGS`] registers,
+/// all initially zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// Number of virtual registers per thread.
+pub const NUM_REGS: usize = 64;
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An instruction operand, resolved per-thread at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(Reg),
+    /// An immediate constant.
+    Imm(u64),
+    /// Grid-global thread id.
+    Tid,
+    /// Lane index within the warp (0..32).
+    Lane,
+    /// Warp index within the thread block.
+    WarpInBlock,
+    /// Thread block index within the grid.
+    Block,
+    /// Thread index within the block.
+    TidInBlock,
+    /// A kernel launch parameter (index into [`Kernel::params`]).
+    Param(u16),
+}
+
+/// Value semantics of a register-writing instruction, over wrapping `u64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueOp {
+    /// `srcs[0]` (a move / broadcast).
+    Mov,
+    /// Sum of all sources.
+    Add,
+    /// `srcs[0] - srcs[1]`.
+    Sub,
+    /// Product of all sources.
+    Mul,
+    /// `srcs[0] / max(srcs[1],1)`.
+    Div,
+    /// `srcs[0] % max(srcs[1],1)`.
+    Rem,
+    /// Bitwise and of all sources.
+    And,
+    /// Bitwise xor of all sources.
+    Xor,
+    /// `srcs[0] << (srcs[1] & 63)`.
+    Shl,
+    /// `srcs[0] >> (srcs[1] & 63)`.
+    Shr,
+    /// Minimum of all sources.
+    Min,
+    /// Maximum of all sources.
+    Max,
+    /// `1` if `srcs[0] < srcs[1]` else `0`.
+    CmpLt,
+    /// `1` if `srcs[0] == srcs[1]` else `0`.
+    CmpEq,
+    /// `1` if `srcs[0] != srcs[1]` else `0`.
+    CmpNe,
+    /// `srcs[0] != 0 ? srcs[1] : srcs[2]`.
+    Select,
+    /// SplitMix64 hash of the xor of all sources — a deterministic
+    /// pseudo-random value generator used for irregular address streams and
+    /// data-dependent branches.
+    Hash,
+}
+
+/// Condition under which a branch redirects a lane to its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Every active lane jumps.
+    Always,
+    /// Lanes whose condition value is zero jump.
+    IfZero,
+    /// Lanes whose condition value is non-zero jump.
+    IfNonZero,
+}
+
+/// One static instruction of a kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticInst {
+    /// Latency class.
+    pub kind: InstKind,
+    /// Value semantics (meaningful only when `dst` is `Some`).
+    pub op: ValueOp,
+    /// Destination register, if the instruction produces a value.
+    pub dst: Option<Reg>,
+    /// Source operands. For loads: `[addr]`. For stores: `[addr, data]`.
+    /// For conditional branches: `[cond]`.
+    pub srcs: Vec<Operand>,
+    /// Branch target PC (index into [`Kernel::insts`]).
+    pub target: Option<u32>,
+    /// Branch condition sense.
+    pub cond: BranchCond,
+    /// Reconvergence PC for potentially-divergent branches (the immediate
+    /// post-dominator; known statically because the builder only produces
+    /// structured control flow).
+    pub reconv: Option<u32>,
+}
+
+impl StaticInst {
+    fn compute(kind: InstKind, op: ValueOp, dst: Reg, srcs: Vec<Operand>) -> Self {
+        Self { kind, op, dst: Some(dst), srcs, target: None, cond: BranchCond::Always, reconv: None }
+    }
+}
+
+/// Error returned by [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A branch target or reconvergence PC is out of range.
+    BadTarget { pc: u32 },
+    /// A conditional branch lacks a reconvergence PC.
+    MissingReconv { pc: u32 },
+    /// An operand references a parameter index not present in `params`.
+    BadParam { pc: u32, index: u16 },
+    /// The kernel does not end with `Exit`.
+    MissingExit,
+    /// A register index is out of range.
+    BadReg { pc: u32 },
+    /// An unclosed `if`/`loop` scope was left open at `finish` time
+    /// (reported by the builder).
+    UnclosedScope,
+    /// A memory instruction is missing its address operand.
+    MissingAddress { pc: u32 },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadTarget { pc } => write!(f, "branch at pc {pc} targets out of range"),
+            KernelError::MissingReconv { pc } => {
+                write!(f, "conditional branch at pc {pc} has no reconvergence point")
+            }
+            KernelError::BadParam { pc, index } => {
+                write!(f, "instruction at pc {pc} references missing parameter {index}")
+            }
+            KernelError::MissingExit => f.write_str("kernel does not end with exit"),
+            KernelError::BadReg { pc } => write!(f, "instruction at pc {pc} uses an out-of-range register"),
+            KernelError::UnclosedScope => f.write_str("unclosed if/loop scope at finish"),
+            KernelError::MissingAddress { pc } => {
+                write!(f, "memory instruction at pc {pc} is missing an address operand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A complete kernel: a flat instruction array plus launch parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Human-readable kernel name (used in reports).
+    pub name: String,
+    /// The instruction array; PCs are indices into this vector.
+    pub insts: Vec<StaticInst>,
+    /// Launch-time parameters referenced by [`Operand::Param`].
+    pub params: Vec<u64>,
+}
+
+impl Kernel {
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the kernel has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`KernelError`] found: out-of-range branch targets
+    /// or registers, conditional branches without reconvergence PCs, missing
+    /// parameters, memory instructions without addresses, or a missing
+    /// trailing `Exit`.
+    pub fn validate(&self) -> Result<(), KernelError> {
+        let n = self.insts.len() as u32;
+        if self.insts.last().map(|i| i.kind) != Some(InstKind::Exit) {
+            return Err(KernelError::MissingExit);
+        }
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let pc = pc as u32;
+            if let Some(t) = inst.target {
+                if t >= n {
+                    return Err(KernelError::BadTarget { pc });
+                }
+            }
+            if let Some(r) = inst.reconv {
+                if r >= n {
+                    return Err(KernelError::BadTarget { pc });
+                }
+            }
+            if inst.kind == InstKind::Branch {
+                if inst.target.is_none() {
+                    return Err(KernelError::BadTarget { pc });
+                }
+                if inst.cond != BranchCond::Always && inst.reconv.is_none() {
+                    return Err(KernelError::MissingReconv { pc });
+                }
+            }
+            if inst.kind.is_mem() && inst.srcs.is_empty() {
+                return Err(KernelError::MissingAddress { pc });
+            }
+            if let Some(Reg(d)) = inst.dst {
+                if d as usize >= NUM_REGS {
+                    return Err(KernelError::BadReg { pc });
+                }
+            }
+            for src in &inst.srcs {
+                match *src {
+                    Operand::Reg(Reg(r)) if r as usize >= NUM_REGS => {
+                        return Err(KernelError::BadReg { pc });
+                    }
+                    Operand::Param(i) if i as usize >= self.params.len() => {
+                        return Err(KernelError::BadParam { pc, index: i });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count of static global memory instructions (a quick divergence /
+    /// memory-intensity indicator used by reports).
+    #[must_use]
+    pub fn global_mem_insts(&self) -> usize {
+        self.insts.iter().filter(|i| i.kind.is_global_mem()).count()
+    }
+}
+
+/// Pre-canned per-thread address patterns used by workload definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// `base + tid * elem_bytes` — fully coalesced when
+    /// `elem_bytes * 32 <= line`.
+    Coalesced {
+        /// Region base address.
+        base: u64,
+        /// Element size in bytes (4 → one 128 B line per warp).
+        elem_bytes: u64,
+    },
+    /// `base + tid * stride_bytes` — one request per
+    /// `line/stride`-lane group; `stride >= 128` gives 32 requests.
+    Strided {
+        /// Region base address.
+        base: u64,
+        /// Per-thread stride in bytes.
+        stride_bytes: u64,
+    },
+    /// `base + (hash(tid ^ salt) % region) & !3` — maximally divergent,
+    /// cache behaviour set by `region_bytes`.
+    Random {
+        /// Region base address.
+        base: u64,
+        /// Region size in bytes (small regions create cache locality).
+        region_bytes: u64,
+        /// Hash salt; vary to decorrelate streams.
+        salt: u64,
+    },
+    /// Every lane reads the same address (fully convergent, 1 request).
+    Broadcast {
+        /// The address.
+        addr: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Scope {
+    /// `if` without `else` so far: PC of the conditional branch.
+    If { branch_pc: u32 },
+    /// `if` with `else`: PCs of the conditional branch and the
+    /// jump-over-else branch.
+    IfElse { branch_pc: u32, jump_pc: u32 },
+    /// Loop: PC of the first body instruction.
+    Loop { head_pc: u32 },
+}
+
+/// Incremental builder for [`Kernel`]s with structured control flow.
+///
+/// The builder allocates registers on demand, patches branch targets, and
+/// records reconvergence points so the SIMT executor can handle divergence
+/// without computing post-dominators.
+///
+/// # Panics
+///
+/// Builder methods panic on structural misuse (closing a scope that was
+/// never opened, register exhaustion); this is a programming error in a
+/// workload definition, not a runtime condition.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    insts: Vec<StaticInst>,
+    next_reg: u8,
+    scopes: Vec<Scope>,
+    num_params: u16,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), insts: Vec::new(), next_reg: 0, scopes: Vec::new(), num_params: 0 }
+    }
+
+    /// Current PC (index of the next instruction to be emitted).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Allocates a fresh virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`NUM_REGS`] registers are requested.
+    pub fn fresh_reg(&mut self) -> Reg {
+        assert!((self.next_reg as usize) < NUM_REGS, "out of virtual registers");
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Declares (or reuses) launch parameter `index` and returns its operand.
+    pub fn param(&mut self, index: u16) -> Operand {
+        self.num_params = self.num_params.max(index + 1);
+        Operand::Param(index)
+    }
+
+    fn push(&mut self, inst: StaticInst) -> u32 {
+        let pc = self.pc();
+        self.insts.push(inst);
+        pc
+    }
+
+    /// Emits an integer ALU instruction computing `op` over `srcs` into a
+    /// fresh register, which is returned.
+    pub fn alu(&mut self, op: ValueOp, srcs: &[Operand]) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(StaticInst::compute(InstKind::IntAlu, op, dst, srcs.to_vec()));
+        dst
+    }
+
+    /// Emits an integer ALU instruction writing an existing register.
+    pub fn alu_into(&mut self, dst: Reg, op: ValueOp, srcs: &[Operand]) {
+        self.push(StaticInst::compute(InstKind::IntAlu, op, dst, srcs.to_vec()));
+    }
+
+    /// Emits a compute instruction of an arbitrary latency class.
+    pub fn compute(&mut self, kind: InstKind, op: ValueOp, srcs: &[Operand]) -> Reg {
+        assert!(kind.writes_register(), "compute() requires a register-writing kind");
+        let dst = self.fresh_reg();
+        self.push(StaticInst::compute(kind, op, dst, srcs.to_vec()));
+        dst
+    }
+
+    /// Emits a compute instruction of kind `kind` writing an existing register.
+    pub fn compute_into(&mut self, dst: Reg, kind: InstKind, op: ValueOp, srcs: &[Operand]) {
+        assert!(kind.writes_register(), "compute_into() requires a register-writing kind");
+        self.push(StaticInst::compute(kind, op, dst, srcs.to_vec()));
+    }
+
+    /// Emits a floating-point add (25-cycle class) summing `srcs`.
+    pub fn fp_add(&mut self, srcs: &[Operand]) -> Reg {
+        self.compute(InstKind::FpAdd, ValueOp::Add, srcs)
+    }
+
+    /// Emits a floating-point multiply.
+    pub fn fp_mul(&mut self, srcs: &[Operand]) -> Reg {
+        self.compute(InstKind::FpMul, ValueOp::Mul, srcs)
+    }
+
+    /// Emits a fused multiply-add (`srcs[0]*srcs[1]+srcs[2]` shape; value
+    /// semantics are a wrapping sum-of-products approximation via `Hash`-free
+    /// `Add` of a `Mul` — the latency class is what matters).
+    pub fn fp_fma(&mut self, srcs: &[Operand]) -> Reg {
+        self.compute(InstKind::FpFma, ValueOp::Add, srcs)
+    }
+
+    /// Emits a special-function-unit op.
+    pub fn sfu(&mut self, srcs: &[Operand]) -> Reg {
+        self.compute(InstKind::Sfu, ValueOp::Hash, srcs)
+    }
+
+    /// Emits a load from `space` at address `addr`; returns the destination
+    /// register holding the loaded value.
+    pub fn load(&mut self, space: MemSpace, addr: Operand) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(StaticInst::compute(InstKind::Load(space), ValueOp::Mov, dst, vec![addr]));
+        dst
+    }
+
+    /// Emits a store of `data` to `space` at address `addr`.
+    pub fn store(&mut self, space: MemSpace, addr: Operand, data: Operand) {
+        self.push(StaticInst {
+            kind: InstKind::Store(space),
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![addr, data],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        });
+    }
+
+    /// Emits the address computation for `pattern` followed by a global load;
+    /// returns the loaded value's register.
+    pub fn load_pattern(&mut self, pattern: AddrPattern) -> Reg {
+        let addr = self.addr_of(pattern);
+        self.load(MemSpace::Global, addr)
+    }
+
+    /// Emits the address computation for `pattern` followed by a global
+    /// store of `data`.
+    pub fn store_pattern(&mut self, pattern: AddrPattern, data: Operand) {
+        let addr = self.addr_of(pattern);
+        self.store(MemSpace::Global, addr, data);
+    }
+
+    /// Emits address computation instructions for `pattern` and returns the
+    /// operand holding the per-thread address.
+    pub fn addr_of(&mut self, pattern: AddrPattern) -> Operand {
+        match pattern {
+            AddrPattern::Coalesced { base, elem_bytes } => {
+                let off = self.alu(ValueOp::Mul, &[Operand::Tid, Operand::Imm(elem_bytes)]);
+                let addr =
+                    self.alu(ValueOp::Add, &[Operand::Reg(off), Operand::Imm(base)]);
+                Operand::Reg(addr)
+            }
+            AddrPattern::Strided { base, stride_bytes } => {
+                let off = self.alu(ValueOp::Mul, &[Operand::Tid, Operand::Imm(stride_bytes)]);
+                let addr =
+                    self.alu(ValueOp::Add, &[Operand::Reg(off), Operand::Imm(base)]);
+                Operand::Reg(addr)
+            }
+            AddrPattern::Random { base, region_bytes, salt } => {
+                let h = self.alu(ValueOp::Hash, &[Operand::Tid, Operand::Imm(salt)]);
+                let m = self.alu(
+                    ValueOp::Rem,
+                    &[Operand::Reg(h), Operand::Imm(region_bytes.max(4))],
+                );
+                let aligned = self.alu(ValueOp::And, &[Operand::Reg(m), Operand::Imm(!3u64)]);
+                let addr =
+                    self.alu(ValueOp::Add, &[Operand::Reg(aligned), Operand::Imm(base)]);
+                Operand::Reg(addr)
+            }
+            AddrPattern::Broadcast { addr } => Operand::Imm(addr),
+        }
+    }
+
+    /// Opens an `if` block executed by lanes where `cond != 0`.
+    pub fn if_begin(&mut self, cond: Operand) {
+        let branch_pc = self.push(StaticInst {
+            kind: InstKind::Branch,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![cond],
+            target: Some(u32::MAX), // patched at if_else/if_end
+            cond: BranchCond::IfZero,
+            reconv: Some(u32::MAX),
+        });
+        self.scopes.push(Scope::If { branch_pc });
+    }
+
+    /// Switches the open `if` block to its `else` arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open scope is not an `if`.
+    pub fn if_else(&mut self) {
+        let Some(Scope::If { branch_pc }) = self.scopes.pop() else {
+            panic!("if_else without matching if_begin");
+        };
+        // Jump over the else arm at the end of the then arm.
+        let jump_pc = self.push(StaticInst {
+            kind: InstKind::Branch,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: Some(u32::MAX), // patched at if_end
+            cond: BranchCond::Always,
+            reconv: None,
+        });
+        // False lanes enter here.
+        let else_start = self.pc();
+        self.insts[branch_pc as usize].target = Some(else_start);
+        self.scopes.push(Scope::IfElse { branch_pc, jump_pc });
+    }
+
+    /// Closes the innermost `if`/`if-else` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open scope is not an `if`.
+    pub fn if_end(&mut self) {
+        let end = self.pc();
+        match self.scopes.pop() {
+            Some(Scope::If { branch_pc }) => {
+                self.insts[branch_pc as usize].target = Some(end);
+                self.insts[branch_pc as usize].reconv = Some(end);
+            }
+            Some(Scope::IfElse { branch_pc, jump_pc }) => {
+                self.insts[jump_pc as usize].target = Some(end);
+                self.insts[branch_pc as usize].reconv = Some(end);
+            }
+            _ => panic!("if_end without matching if_begin"),
+        }
+    }
+
+    /// Opens a do-while style loop; close with [`Self::loop_end_while`].
+    pub fn loop_begin(&mut self) {
+        let head_pc = self.pc();
+        self.scopes.push(Scope::Loop { head_pc });
+    }
+
+    /// Closes the innermost loop with a backward branch taken by lanes where
+    /// `cond != 0`. Lanes that fall out of the loop reconverge just past the
+    /// branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open scope is not a loop.
+    pub fn loop_end_while(&mut self, cond: Operand) {
+        let Some(Scope::Loop { head_pc }) = self.scopes.pop() else {
+            panic!("loop_end_while without matching loop_begin");
+        };
+        let branch_pc = self.push(StaticInst {
+            kind: InstKind::Branch,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![cond],
+            target: Some(head_pc),
+            cond: BranchCond::IfNonZero,
+            reconv: Some(u32::MAX),
+        });
+        let exit_pc = self.pc();
+        self.insts[branch_pc as usize].reconv = Some(exit_pc);
+    }
+
+    /// Emits a block-wide barrier.
+    pub fn sync(&mut self) {
+        self.push(StaticInst {
+            kind: InstKind::Sync,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        });
+    }
+
+    /// Appends the terminating `Exit` and returns the finished kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `if` or loop scope is still open, or if fewer parameters
+    /// are supplied than the kernel references.
+    #[must_use]
+    pub fn finish(mut self, params: Vec<u64>) -> Kernel {
+        assert!(self.scopes.is_empty(), "unclosed if/loop scope at finish");
+        assert!(
+            params.len() >= self.num_params as usize,
+            "kernel references {} params but only {} supplied",
+            self.num_params,
+            params.len()
+        );
+        self.push(StaticInst {
+            kind: InstKind::Exit,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        });
+        Kernel { name: self.name, insts: self.insts, params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel_builds_and_validates() {
+        let mut b = KernelBuilder::new("k");
+        let a = b.alu(ValueOp::Add, &[Operand::Tid, Operand::Imm(1)]);
+        let _ = b.fp_add(&[Operand::Reg(a), Operand::Imm(2)]);
+        let k = b.finish(vec![]);
+        assert_eq!(k.len(), 3);
+        assert_eq!(k.insts.last().unwrap().kind, InstKind::Exit);
+        k.validate().expect("valid kernel");
+    }
+
+    #[test]
+    fn if_else_targets_and_reconvergence_are_patched() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(16)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.if_else();
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(2)]);
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(3)]);
+        b.if_end();
+        let k = b.finish(vec![]);
+        k.validate().expect("valid kernel");
+
+        // Layout: 0 cmp, 1 branch-if-zero, 2 then, 3 jump, 4..=5 else, 6 exit.
+        let br = &k.insts[1];
+        assert_eq!(br.kind, InstKind::Branch);
+        assert_eq!(br.cond, BranchCond::IfZero);
+        assert_eq!(br.target, Some(4), "false lanes jump to the else arm");
+        assert_eq!(br.reconv, Some(6), "reconvergence at the end of the if");
+        let jump = &k.insts[3];
+        assert_eq!(jump.cond, BranchCond::Always);
+        assert_eq!(jump.target, Some(6));
+    }
+
+    #[test]
+    fn if_without_else_reconverges_at_end() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(4)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.if_end();
+        let k = b.finish(vec![]);
+        k.validate().expect("valid");
+        let br = &k.insts[1];
+        assert_eq!(br.target, Some(3));
+        assert_eq!(br.reconv, Some(3));
+    }
+
+    #[test]
+    fn loop_branches_backwards_with_exit_reconvergence() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.alu(ValueOp::Mov, &[Operand::Imm(0)]);
+        b.loop_begin();
+        b.alu_into(i, ValueOp::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Reg(i), Operand::Imm(10)]);
+        b.loop_end_while(Operand::Reg(c));
+        let k = b.finish(vec![]);
+        k.validate().expect("valid");
+        // Layout: 0 mov, 1 add, 2 cmp, 3 branch, 4 exit.
+        let br = &k.insts[3];
+        assert_eq!(br.target, Some(1), "back edge to loop head");
+        assert_eq!(br.cond, BranchCond::IfNonZero);
+        assert_eq!(br.reconv, Some(4), "loop exit reconvergence");
+    }
+
+    #[test]
+    fn nested_scopes_patch_correctly() {
+        let mut b = KernelBuilder::new("k");
+        let c1 = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(16)]);
+        b.if_begin(Operand::Reg(c1));
+        let c2 = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(8)]);
+        b.if_begin(Operand::Reg(c2));
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.if_end();
+        b.if_end();
+        let k = b.finish(vec![]);
+        k.validate().expect("valid nested kernel");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_scope_panics_at_finish() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(4)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.finish(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "params")]
+    fn missing_params_panic_at_finish() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(2);
+        let _ = b.alu(ValueOp::Add, &[p]);
+        let _ = b.finish(vec![0]);
+    }
+
+    #[test]
+    fn validate_catches_missing_exit() {
+        let k = Kernel { name: "bad".into(), insts: vec![], params: vec![] };
+        assert_eq!(k.validate(), Err(KernelError::MissingExit));
+    }
+
+    #[test]
+    fn validate_catches_bad_target() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        let mut k = b.finish(vec![]);
+        k.insts[0].kind = InstKind::Branch;
+        k.insts[0].target = Some(99);
+        assert_eq!(k.validate(), Err(KernelError::BadTarget { pc: 0 }));
+    }
+
+    #[test]
+    fn validate_catches_bad_param_reference() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        let mut k = b.finish(vec![]);
+        k.insts[0].srcs = vec![Operand::Param(5)];
+        assert_eq!(k.validate(), Err(KernelError::BadParam { pc: 0, index: 5 }));
+    }
+
+    #[test]
+    fn addr_patterns_emit_addresses() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.load_pattern(AddrPattern::Coalesced { base: 0x1000, elem_bytes: 4 });
+        let _ = b.load_pattern(AddrPattern::Strided { base: 0x2000, stride_bytes: 256 });
+        let _ = b.load_pattern(AddrPattern::Random { base: 0x3000, region_bytes: 1 << 20, salt: 7 });
+        let _ = b.load_pattern(AddrPattern::Broadcast { addr: 0x4000 });
+        b.store_pattern(AddrPattern::Coalesced { base: 0x5000, elem_bytes: 4 }, Operand::Imm(0));
+        let k = b.finish(vec![]);
+        k.validate().expect("valid");
+        assert_eq!(k.global_mem_insts(), 5);
+    }
+
+    #[test]
+    fn kernel_serde_roundtrip() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(4)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.load_pattern(AddrPattern::Coalesced { base: 0, elem_bytes: 4 });
+        b.if_end();
+        let k = b.finish(vec![]);
+        let json = serde_json::to_string(&k).expect("serialize");
+        let back: Kernel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(k, back);
+    }
+}

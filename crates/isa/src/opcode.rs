@@ -1,0 +1,184 @@
+//! Instruction classes distinguished by the performance model.
+//!
+//! GPUMech does not need full instruction semantics at the modeling layer —
+//! only the *latency class* of each instruction and whether it touches
+//! memory. The functional simulator in `gpumech-trace` additionally gives
+//! instructions value semantics via [`crate::kernel::ValueOp`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Address space targeted by a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Off-chip global memory, cached in the L1/L2 hierarchy.
+    Global,
+    /// The per-core software-managed scratchpad ("shared memory"). Accesses
+    /// have a fixed latency and never reach the cache hierarchy or DRAM.
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => f.write_str("global"),
+            MemSpace::Shared => f.write_str("shared"),
+        }
+    }
+}
+
+/// Latency class of an instruction.
+///
+/// The compute classes have fixed latencies given by
+/// [`LatencyTable`](crate::config::LatencyTable); global memory latencies are
+/// produced by the cache model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstKind {
+    /// Integer ALU operation (add, shift, logic, address arithmetic).
+    IntAlu,
+    /// "Normal" floating-point operation; 25 cycles in Table I.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Fused multiply-add.
+    FpFma,
+    /// Floating-point divide (long-latency iterative unit).
+    FpDiv,
+    /// Special function unit op (sin, rsqrt, exp, …).
+    Sfu,
+    /// Memory load from `MemSpace`.
+    Load(MemSpace),
+    /// Memory store to `MemSpace`.
+    Store(MemSpace),
+    /// Conditional or unconditional branch.
+    Branch,
+    /// Block-wide barrier (`__syncthreads()`); not a stall source in the
+    /// model, per Section V-B of the paper.
+    Sync,
+    /// Kernel termination for a thread.
+    Exit,
+}
+
+impl InstKind {
+    /// `true` for loads and stores to any address space.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstKind::Load(_) | InstKind::Store(_))
+    }
+
+    /// `true` for loads/stores to global memory, i.e. instructions that
+    /// enter the cache hierarchy and participate in the contention model.
+    #[must_use]
+    pub fn is_global_mem(self) -> bool {
+        matches!(
+            self,
+            InstKind::Load(MemSpace::Global) | InstKind::Store(MemSpace::Global)
+        )
+    }
+
+    /// `true` for global loads — the only instructions that allocate MSHRs.
+    #[must_use]
+    pub fn is_global_load(self) -> bool {
+        matches!(self, InstKind::Load(MemSpace::Global))
+    }
+
+    /// `true` for global stores — write-through traffic that consumes DRAM
+    /// bandwidth but never allocates an MSHR (Section VI-B of the paper).
+    #[must_use]
+    pub fn is_global_store(self) -> bool {
+        matches!(self, InstKind::Store(MemSpace::Global))
+    }
+
+    /// `true` if the instruction produces a register value that later
+    /// instructions may depend on.
+    #[must_use]
+    pub fn writes_register(self) -> bool {
+        !matches!(
+            self,
+            InstKind::Store(_) | InstKind::Branch | InstKind::Sync | InstKind::Exit
+        )
+    }
+}
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstKind::IntAlu => f.write_str("ialu"),
+            InstKind::FpAdd => f.write_str("fadd"),
+            InstKind::FpMul => f.write_str("fmul"),
+            InstKind::FpFma => f.write_str("ffma"),
+            InstKind::FpDiv => f.write_str("fdiv"),
+            InstKind::Sfu => f.write_str("sfu"),
+            InstKind::Load(s) => write!(f, "ld.{s}"),
+            InstKind::Store(s) => write!(f, "st.{s}"),
+            InstKind::Branch => f.write_str("bra"),
+            InstKind::Sync => f.write_str("bar.sync"),
+            InstKind::Exit => f.write_str("exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_load_is_mem_and_allocates_mshr() {
+        let k = InstKind::Load(MemSpace::Global);
+        assert!(k.is_mem());
+        assert!(k.is_global_mem());
+        assert!(k.is_global_load());
+        assert!(!k.is_global_store());
+        assert!(k.writes_register());
+    }
+
+    #[test]
+    fn global_store_is_traffic_but_not_mshr() {
+        let k = InstKind::Store(MemSpace::Global);
+        assert!(k.is_mem());
+        assert!(k.is_global_mem());
+        assert!(!k.is_global_load());
+        assert!(k.is_global_store());
+        assert!(!k.writes_register());
+    }
+
+    #[test]
+    fn shared_accesses_never_touch_the_hierarchy() {
+        assert!(!InstKind::Load(MemSpace::Shared).is_global_mem());
+        assert!(!InstKind::Store(MemSpace::Shared).is_global_mem());
+        assert!(InstKind::Load(MemSpace::Shared).is_mem());
+    }
+
+    #[test]
+    fn compute_kinds_are_not_memory() {
+        for k in [
+            InstKind::IntAlu,
+            InstKind::FpAdd,
+            InstKind::FpMul,
+            InstKind::FpFma,
+            InstKind::FpDiv,
+            InstKind::Sfu,
+            InstKind::Branch,
+            InstKind::Sync,
+            InstKind::Exit,
+        ] {
+            assert!(!k.is_mem(), "{k} misclassified as memory");
+        }
+    }
+
+    #[test]
+    fn control_kinds_do_not_write_registers() {
+        assert!(!InstKind::Branch.writes_register());
+        assert!(!InstKind::Sync.writes_register());
+        assert!(!InstKind::Exit.writes_register());
+        assert!(InstKind::IntAlu.writes_register());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable() {
+        assert_eq!(InstKind::Load(MemSpace::Global).to_string(), "ld.global");
+        assert_eq!(InstKind::Store(MemSpace::Shared).to_string(), "st.shared");
+        assert_eq!(InstKind::FpFma.to_string(), "ffma");
+    }
+}

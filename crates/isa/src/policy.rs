@@ -1,0 +1,44 @@
+//! Warp scheduling policies modeled by the paper (Section IV-A).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The two warp scheduling policies GPUMech models and the timing oracle
+/// implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Round-robin: issue one instruction from each ready warp in turn,
+    /// regardless of whether other warps are stalled.
+    RoundRobin,
+    /// Greedy-then-oldest (Rogers et al., MICRO 2012): keep issuing from
+    /// the same warp until it stalls, then switch to the oldest ready warp.
+    GreedyThenOldest,
+}
+
+impl SchedulingPolicy {
+    /// Both policies, in the order the paper evaluates them.
+    pub const ALL: [SchedulingPolicy; 2] =
+        [SchedulingPolicy::RoundRobin, SchedulingPolicy::GreedyThenOldest];
+}
+
+impl fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingPolicy::RoundRobin => f.write_str("rr"),
+            SchedulingPolicy::GreedyThenOldest => f.write_str("gto"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SchedulingPolicy::RoundRobin.to_string(), "rr");
+        assert_eq!(SchedulingPolicy::GreedyThenOldest.to_string(), "gto");
+        assert_eq!(SchedulingPolicy::ALL.len(), 2);
+    }
+}

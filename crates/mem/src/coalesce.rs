@@ -1,0 +1,110 @@
+//! The memory-access coalescer.
+//!
+//! A warp's global memory instruction issues one request per *distinct cache
+//! line* touched by its active lanes — the paper's definition of memory
+//! divergence ("uncoalesced memory accesses"): a fully coalesced instruction
+//! issues 1 request, a maximally divergent one issues 32.
+
+/// Returns the distinct line-aligned addresses touched by `addrs`, in
+/// first-touch order (the order requests are issued).
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is not a power of two.
+#[must_use]
+pub fn coalesce(addrs: &[u64], line_bytes: u64) -> Vec<u64> {
+    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    let mask = !(line_bytes - 1);
+    let mut lines: Vec<u64> = Vec::with_capacity(addrs.len().min(8));
+    for &a in addrs {
+        let line = a & mask;
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+/// Number of memory requests the instruction generates (1..=lanes).
+#[must_use]
+pub fn num_requests(addrs: &[u64], line_bytes: u64) -> usize {
+    coalesce(addrs, line_bytes).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn adjacent_words_coalesce_to_one_line() {
+        let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+        assert_eq!(coalesce(&addrs, 128), vec![0x1000]);
+        assert_eq!(num_requests(&addrs, 128), 1);
+    }
+
+    #[test]
+    fn full_stride_gives_one_request_per_lane() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(num_requests(&addrs, 128), 32);
+    }
+
+    #[test]
+    fn half_line_stride_gives_sixteen_requests() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        assert_eq!(num_requests(&addrs, 128), 16);
+    }
+
+    #[test]
+    fn duplicate_addresses_merge() {
+        let addrs = vec![0x80, 0x84, 0x80, 0x200, 0x27F];
+        let lines = coalesce(&addrs, 128);
+        assert_eq!(lines, vec![0x80, 0x200]);
+    }
+
+    #[test]
+    fn first_touch_order_is_preserved() {
+        let addrs = vec![0x300, 0x100, 0x200, 0x101];
+        // 0x101 shares the 0x100 line; the rest appear in first-touch order.
+        assert_eq!(coalesce(&addrs, 128), vec![0x300, 0x100, 0x200]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_requests() {
+        assert_eq!(num_requests(&[], 128), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_lines() {
+        let _ = coalesce(&[0], 100);
+    }
+
+    proptest! {
+        #[test]
+        fn request_count_is_bounded_by_lanes_and_one(addrs in prop::collection::vec(any::<u64>(), 1..32)) {
+            let n = num_requests(&addrs, 128);
+            prop_assert!(n >= 1);
+            prop_assert!(n <= addrs.len());
+        }
+
+        #[test]
+        fn every_address_is_covered_by_a_request(addrs in prop::collection::vec(any::<u64>(), 0..64)) {
+            let lines = coalesce(&addrs, 128);
+            for a in &addrs {
+                prop_assert!(lines.contains(&(a & !127u64)));
+            }
+            // And no request is superfluous.
+            for l in &lines {
+                prop_assert!(addrs.iter().any(|a| a & !127u64 == *l));
+            }
+        }
+
+        #[test]
+        fn requests_are_line_aligned(addrs in prop::collection::vec(any::<u64>(), 0..64)) {
+            for l in coalesce(&addrs, 128) {
+                prop_assert_eq!(l % 128, 0);
+            }
+        }
+    }
+}

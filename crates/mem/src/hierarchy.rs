@@ -1,0 +1,266 @@
+//! The functional cache-hierarchy simulator.
+//!
+//! Replays every global memory instruction of a kernel trace against
+//! per-core L1 caches and one shared L2, with the access interleaving the
+//! paper prescribes: "the cache simulator reads the memory instructions and
+//! their addresses from the trace of each warp in a round-robin fashion"
+//! and "models a system with the number of warps and cores equal to that of
+//! the modeled system without timing information" (Section V-A).
+//!
+//! Thread blocks are dealt to cores round-robin ([`LaunchConfig`] rule) and
+//! occupy them in *waves*: a core holds `blocks_per_core` blocks at a time,
+//! and when a wave's memory instructions are exhausted the next wave of
+//! blocks becomes resident.
+//!
+//! Policy choices (shared with the timing oracle, so the two observe the
+//! same hit/miss behaviour):
+//! * L1 and L2 allocate on load misses (fill at access time),
+//! * stores are write-through / no-write-allocate all the way to DRAM —
+//!   they never allocate MSHRs and every store request consumes DRAM
+//!   bandwidth, which is what makes write-divergent kernels DRAM-queue
+//!   bound in the paper (Section VI-B).
+
+use gpumech_isa::SimConfig;
+use gpumech_trace::{KernelTrace, LaunchConfig, WarpTrace};
+
+use crate::cache::{Access, Cache};
+use crate::coalesce::coalesce;
+use crate::stats::MemStats;
+
+/// One resident warp's cursor over its global-memory instructions.
+struct Cursor<'t> {
+    warp: &'t WarpTrace,
+    /// Indices of global memory instructions within the warp trace.
+    mem_idxs: Vec<u32>,
+    next: usize,
+}
+
+impl Cursor<'_> {
+    fn exhausted(&self) -> bool {
+        self.next >= self.mem_idxs.len()
+    }
+}
+
+/// Runs the functional hierarchy simulation and returns per-PC statistics.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation (call [`SimConfig::validate`] to get a
+/// proper error) or if the trace's warp ids are inconsistent with its
+/// launch geometry.
+#[must_use]
+pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
+    assert!(cfg.validate().is_ok(), "invalid SimConfig");
+    let launch: LaunchConfig = trace.launch;
+    let line = cfg.l1.line_bytes as u64;
+
+    let mut l1s: Vec<Cache> = (0..cfg.num_cores).map(|_| Cache::new(&cfg.l1)).collect();
+    let mut l2 = Cache::new(&cfg.l2);
+    let mut stats = MemStats::new(cfg.l1.latency, cfg.l2_hit_latency(), cfg.l2_miss_latency());
+
+    // Deal blocks to cores: core c executes blocks {c, c+N, c+2N, ...}.
+    let mut core_blocks: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_cores];
+    for b in 0..launch.num_blocks {
+        core_blocks[b % cfg.num_cores].push(b);
+    }
+    let bpc = launch.blocks_per_core(cfg.max_warps_per_core);
+    let max_waves = core_blocks.iter().map(|bs| bs.len().div_ceil(bpc)).max().unwrap_or(0);
+    let wpb = launch.warps_per_block();
+
+    for wave in 0..max_waves {
+        // Gather the resident warps of this wave, per core.
+        let mut resident: Vec<Vec<Cursor<'_>>> = Vec::with_capacity(cfg.num_cores);
+        for blocks in &core_blocks {
+            let mut cursors = Vec::new();
+            for &b in blocks.iter().skip(wave * bpc).take(bpc) {
+                for w in 0..wpb {
+                    let warp = &trace.warps[b * wpb + w];
+                    let mem_idxs: Vec<u32> = warp
+                        .insts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, i)| i.kind.is_global_mem())
+                        .map(|(n, _)| n as u32)
+                        .collect();
+                    cursors.push(Cursor { warp, mem_idxs, next: 0 });
+                }
+            }
+            resident.push(cursors);
+        }
+
+        // Round-robin: each pass advances one memory instruction of the
+        // next unexhausted warp on every core.
+        let mut rr: Vec<usize> = vec![0; cfg.num_cores];
+        loop {
+            let mut progressed = false;
+            for (core, cursors) in resident.iter_mut().enumerate() {
+                if cursors.is_empty() {
+                    continue;
+                }
+                let n = cursors.len();
+                // Find the next warp with work, starting at the RR pointer.
+                let Some(pick) =
+                    (0..n).map(|k| (rr[core] + k) % n).find(|&i| !cursors[i].exhausted())
+                else {
+                    continue;
+                };
+                rr[core] = (pick + 1) % n;
+                progressed = true;
+
+                let cur = &mut cursors[pick];
+                let inst = &cur.warp.insts[cur.mem_idxs[cur.next] as usize];
+                cur.next += 1;
+
+                let lines = coalesce(&inst.addrs, line);
+                let is_store = inst.kind.is_global_store();
+                let entry = stats.entry(inst.pc);
+                entry.is_store = is_store;
+                entry.insts += 1;
+                entry.reqs += lines.len() as u64;
+
+                if is_store {
+                    // Write-through, no-allocate: every request reaches DRAM.
+                    stats.entry(inst.pc).dram_reqs += lines.len() as u64;
+                    continue;
+                }
+
+                let mut worst_l1_miss = false;
+                let mut worst_l2_miss = false;
+                let mut mshr_reqs = 0u64;
+                let mut dram_reqs = 0u64;
+                for &l in &lines {
+                    if l1s[core].access(l, true) == Access::Miss {
+                        worst_l1_miss = true;
+                        mshr_reqs += 1;
+                        if l2.access(l, true) == Access::Miss {
+                            worst_l2_miss = true;
+                            dram_reqs += 1;
+                        }
+                    }
+                }
+                let entry = stats.entry(inst.pc);
+                entry.mshr_reqs += mshr_reqs;
+                entry.dram_reqs += dram_reqs;
+                if worst_l2_miss {
+                    entry.l2_miss_insts += 1;
+                } else if worst_l1_miss {
+                    entry.l2_hit_insts += 1;
+                } else {
+                    entry.l1_hit_insts += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_isa::{AddrPattern, KernelBuilder, Operand, SimConfig};
+    use gpumech_trace::{trace_kernel, workloads};
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn cold_streaming_loads_all_miss_to_dram() {
+        let mut b = KernelBuilder::new("stream");
+        let _ = b.load_pattern(AddrPattern::Coalesced { base: 1 << 32, elem_bytes: 4 });
+        let k = b.finish(vec![]);
+        let t = trace_kernel(&k, LaunchConfig::new(256, 16)).unwrap();
+        let stats = simulate_hierarchy(&t, &small_cfg());
+        let pc = stats.load_pcs().next().unwrap();
+        let d = stats.miss_dist(pc);
+        assert!(d.l2_miss > 0.99, "cold streaming should miss L2: {d:?}");
+        assert!((stats.load_latency(pc) - 420.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn broadcast_load_hits_l1_after_first_warp() {
+        let mut b = KernelBuilder::new("bcast");
+        let _ = b.load_pattern(AddrPattern::Broadcast { addr: 1 << 32 });
+        let k = b.finish(vec![]);
+        // 64 warps on 16 cores → 4 warps per core → 1 cold miss per core.
+        let t = trace_kernel(&k, LaunchConfig::new(32, 64)).unwrap();
+        let stats = simulate_hierarchy(&t, &small_cfg());
+        let pc = stats.load_pcs().next().unwrap();
+        let s = stats.pc_stats(pc).unwrap();
+        assert_eq!(s.insts, 64);
+        assert_eq!(s.reqs, 64, "one request per warp");
+        // 16 cores take one L1 miss each; of those, 15 hit L2 (filled by the
+        // first core's miss).
+        assert_eq!(s.mshr_reqs, 16);
+        assert_eq!(s.dram_reqs, 1);
+        let d = stats.miss_dist(pc);
+        assert!(d.l1_hit >= 0.7, "most executions hit L1: {d:?}");
+    }
+
+    #[test]
+    fn stores_bypass_caches_and_reach_dram() {
+        let mut b = KernelBuilder::new("st");
+        b.store_pattern(AddrPattern::Strided { base: 1 << 32, stride_bytes: 128 }, Operand::Imm(1));
+        let k = b.finish(vec![]);
+        let t = trace_kernel(&k, LaunchConfig::new(32, 4)).unwrap();
+        let stats = simulate_hierarchy(&t, &small_cfg());
+        let pc = stats.store_pcs().next().unwrap();
+        let s = stats.pc_stats(pc).unwrap();
+        assert!(s.is_store);
+        assert_eq!(s.insts, 4);
+        assert_eq!(s.reqs, 4 * 32, "fully divergent stores");
+        assert_eq!(s.dram_reqs, s.reqs, "write-through: all store requests reach DRAM");
+        assert_eq!(s.mshr_reqs, 0, "stores never allocate MSHRs");
+    }
+
+    #[test]
+    fn hot_region_develops_l1_hits() {
+        let w = workloads::by_name("kmeans_invert_mapping").unwrap().with_blocks(16);
+        let t = w.trace().unwrap();
+        let stats = simulate_hierarchy(&t, &small_cfg());
+        // The load in the loop reads a 12 KiB region: it must show a high
+        // L1 hit fraction once warm.
+        let best_l1 = stats.load_pcs().map(|pc| stats.miss_dist(pc).l1_hit).fold(0.0, f64::max);
+        assert!(best_l1 > 0.6, "expected L1-hot loads, best fraction {best_l1}");
+    }
+
+    #[test]
+    fn divergence_is_visible_in_request_rates() {
+        let w = workloads::by_name("sdk_transpose").unwrap().with_blocks(8);
+        let t = w.trace().unwrap();
+        let stats = simulate_hierarchy(&t, &small_cfg());
+        let max_store_div = stats
+            .store_pcs()
+            .map(|pc| stats.pc_stats(pc).unwrap().reqs_per_inst())
+            .fold(0.0, f64::max);
+        assert!(max_store_div > 30.0, "transpose stores should be ~32-way: {max_store_div}");
+    }
+
+    #[test]
+    fn hierarchy_is_deterministic() {
+        let w = workloads::by_name("cfd_compute_flux").unwrap().with_blocks(8);
+        let t = w.trace().unwrap();
+        let a = simulate_hierarchy(&t, &small_cfg());
+        let b = simulate_hierarchy(&t, &small_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fewer_resident_warps_changes_wave_structure_not_totals() {
+        let w = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(32);
+        let t = w.trace().unwrap();
+        let full = simulate_hierarchy(&t, &small_cfg());
+        let tight = simulate_hierarchy(&t, &small_cfg().with_warps_per_core(8));
+        // Total instruction and request counts are trace properties and
+        // must not depend on residency.
+        for pc in full.load_pcs() {
+            let a = full.pc_stats(pc).unwrap();
+            let b = tight.pc_stats(pc).unwrap();
+            assert_eq!(a.insts, b.insts);
+            assert_eq!(a.reqs, b.reqs);
+        }
+    }
+}

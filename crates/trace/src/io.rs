@@ -1,0 +1,355 @@
+//! Trace serialization: a compact binary format for kernel traces.
+//!
+//! The paper's workflow traces a kernel *once* per input and re-models it
+//! for many hardware configurations (Section VI-D); persisting traces is
+//! what makes that amortization real. JSON (via serde) works but is ~20x
+//! larger than necessary — this module provides a dependency-free binary
+//! format using varint encoding and per-warp delta compression of memory
+//! addresses.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "GPUMECHT" | u8 version | varint name_len | name bytes
+//! varint threads_per_block | varint num_blocks | varint num_warps
+//! per warp: varint n_insts, then per instruction:
+//!   varint pc | u8 kind tag | varint n_deps | varint delta-coded deps
+//!   u32 active_mask | varint n_addrs | zigzag-varint delta-coded addrs
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use gpumech_trace::{workloads, io};
+//!
+//! let trace = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(2).trace()?;
+//! let bytes = io::encode(&trace);
+//! let back = io::decode(&bytes)?;
+//! assert_eq!(trace, back);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use gpumech_isa::{BlockId, InstKind, MemSpace, WarpId};
+
+use crate::launch::LaunchConfig;
+use crate::record::{KernelTrace, TraceInst, WarpTrace};
+
+const MAGIC: &[u8; 8] = b"GPUMECHT";
+const VERSION: u8 = 1;
+
+/// Error produced while decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the format magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u8),
+    /// The buffer ended mid-structure.
+    Truncated,
+    /// An instruction-kind tag is unknown.
+    BadKind(u8),
+    /// A string field is not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => f.write_str("not a gpumech trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => f.write_str("trace data truncated"),
+            DecodeError::BadKind(t) => write!(f, "unknown instruction kind tag {t}"),
+            DecodeError::BadString => f.write_str("invalid UTF-8 in trace"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// --- varint primitives ----------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(DecodeError::Truncated);
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// --- instruction kind tags -------------------------------------------------
+
+fn kind_tag(kind: InstKind) -> u8 {
+    match kind {
+        InstKind::IntAlu => 0,
+        InstKind::FpAdd => 1,
+        InstKind::FpMul => 2,
+        InstKind::FpFma => 3,
+        InstKind::FpDiv => 4,
+        InstKind::Sfu => 5,
+        InstKind::Load(MemSpace::Global) => 6,
+        InstKind::Load(MemSpace::Shared) => 7,
+        InstKind::Store(MemSpace::Global) => 8,
+        InstKind::Store(MemSpace::Shared) => 9,
+        InstKind::Branch => 10,
+        InstKind::Sync => 11,
+        InstKind::Exit => 12,
+    }
+}
+
+fn tag_kind(tag: u8) -> Result<InstKind, DecodeError> {
+    Ok(match tag {
+        0 => InstKind::IntAlu,
+        1 => InstKind::FpAdd,
+        2 => InstKind::FpMul,
+        3 => InstKind::FpFma,
+        4 => InstKind::FpDiv,
+        5 => InstKind::Sfu,
+        6 => InstKind::Load(MemSpace::Global),
+        7 => InstKind::Load(MemSpace::Shared),
+        8 => InstKind::Store(MemSpace::Global),
+        9 => InstKind::Store(MemSpace::Shared),
+        10 => InstKind::Branch,
+        11 => InstKind::Sync,
+        12 => InstKind::Exit,
+        t => return Err(DecodeError::BadKind(t)),
+    })
+}
+
+// --- encode -----------------------------------------------------------------
+
+/// Serializes a trace to the compact binary format.
+#[must_use]
+pub fn encode(trace: &KernelTrace) -> Vec<u8> {
+    // Rough pre-size: ~6 bytes per instruction plus addresses.
+    let mut out = Vec::with_capacity(32 + trace.total_insts() * 8);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, trace.name.len() as u64);
+    out.extend_from_slice(trace.name.as_bytes());
+    put_varint(&mut out, trace.launch.threads_per_block as u64);
+    put_varint(&mut out, trace.launch.num_blocks as u64);
+    put_varint(&mut out, trace.warps.len() as u64);
+
+    for warp in &trace.warps {
+        put_varint(&mut out, warp.insts.len() as u64);
+        for inst in &warp.insts {
+            put_varint(&mut out, u64::from(inst.pc));
+            out.push(kind_tag(inst.kind));
+            put_varint(&mut out, inst.deps.len() as u64);
+            // Deps are sorted ascending: delta-code them.
+            let mut prev = 0u64;
+            for &d in &inst.deps {
+                put_varint(&mut out, u64::from(d) - prev);
+                prev = u64::from(d);
+            }
+            out.extend_from_slice(&inst.active_mask.to_le_bytes());
+            put_varint(&mut out, inst.addrs.len() as u64);
+            // Addresses are usually strided: zigzag-delta-code them.
+            let mut prev = 0i64;
+            for &a in &inst.addrs {
+                let cur = a as i64;
+                put_varint(&mut out, zigzag(cur.wrapping_sub(prev)));
+                prev = cur;
+            }
+        }
+    }
+    out
+}
+
+// --- decode -----------------------------------------------------------------
+
+/// Deserializes a trace from the compact binary format.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first structural problem.
+pub fn decode(buf: &[u8]) -> Result<KernelTrace, DecodeError> {
+    let mut pos = 0usize;
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    pos += MAGIC.len();
+    let version = *buf.get(pos).ok_or(DecodeError::Truncated)?;
+    pos += 1;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name_len = get_varint(buf, &mut pos)? as usize;
+    let name_bytes = buf.get(pos..pos + name_len).ok_or(DecodeError::Truncated)?;
+    let name = std::str::from_utf8(name_bytes).map_err(|_| DecodeError::BadString)?.to_string();
+    pos += name_len;
+
+    let threads_per_block = get_varint(buf, &mut pos)? as usize;
+    let num_blocks = get_varint(buf, &mut pos)? as usize;
+    let launch = LaunchConfig::new(threads_per_block.max(32), num_blocks.max(1));
+    let num_warps = get_varint(buf, &mut pos)? as usize;
+
+    let mut warps = Vec::with_capacity(num_warps);
+    for w in 0..num_warps {
+        let n_insts = get_varint(buf, &mut pos)? as usize;
+        let mut insts = Vec::with_capacity(n_insts);
+        for _ in 0..n_insts {
+            let pc = get_varint(buf, &mut pos)? as u32;
+            let tag = *buf.get(pos).ok_or(DecodeError::Truncated)?;
+            pos += 1;
+            let kind = tag_kind(tag)?;
+            let n_deps = get_varint(buf, &mut pos)? as usize;
+            let mut deps = Vec::with_capacity(n_deps);
+            let mut prev = 0u64;
+            for _ in 0..n_deps {
+                prev += get_varint(buf, &mut pos)?;
+                deps.push(prev as u32);
+            }
+            let mask_bytes = buf.get(pos..pos + 4).ok_or(DecodeError::Truncated)?;
+            let active_mask = u32::from_le_bytes(mask_bytes.try_into().expect("4 bytes"));
+            pos += 4;
+            let n_addrs = get_varint(buf, &mut pos)? as usize;
+            let mut addrs = Vec::with_capacity(n_addrs);
+            let mut prev = 0i64;
+            for _ in 0..n_addrs {
+                prev = prev.wrapping_add(unzigzag(get_varint(buf, &mut pos)?));
+                addrs.push(prev as u64);
+            }
+            insts.push(TraceInst { pc, kind, deps, active_mask, addrs });
+        }
+        let warp_id = WarpId::new(w as u32);
+        warps.push(WarpTrace {
+            warp: warp_id,
+            block: BlockId::new((w / launch.warps_per_block()) as u32),
+            insts,
+        });
+    }
+    Ok(KernelTrace { name, launch, warps })
+}
+
+/// Writes a trace to `path` in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save(trace: &KernelTrace, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(trace))
+}
+
+/// Reads a trace from `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; decoding failures surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load(path: &std::path::Path) -> std::io::Result<KernelTrace> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for tag in 0u8..13 {
+            let kind = tag_kind(tag).unwrap();
+            assert_eq!(kind_tag(kind), tag);
+        }
+        assert_eq!(tag_kind(13), Err(DecodeError::BadKind(13)));
+    }
+
+    #[test]
+    fn traces_roundtrip_exactly() {
+        for name in ["sdk_vectoradd", "kmeans_invert_mapping", "lud_diagonal"] {
+            let trace = workloads::by_name(name).unwrap().with_blocks(2).trace().unwrap();
+            let bytes = encode(&trace);
+            let back = decode(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(trace, back, "{name} roundtrip");
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let trace = workloads::by_name("cfd_compute_flux").unwrap().with_blocks(4).trace().unwrap();
+        let bin = encode(&trace).len();
+        let json = serde_json::to_string(&trace).unwrap().len();
+        assert!(
+            bin * 5 < json,
+            "binary {bin} bytes should be at least 5x smaller than JSON {json}"
+        );
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        assert_eq!(decode(b"oops"), Err(DecodeError::BadMagic));
+        let trace = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(1).trace().unwrap();
+        let mut bytes = encode(&trace);
+        bytes[8] = 99; // version byte
+        assert_eq!(decode(&bytes), Err(DecodeError::BadVersion(99)));
+        let trace_bytes = encode(&trace);
+        for cut in [9, 16, trace_bytes.len() / 2] {
+            // Truncations must error (any variant), never panic.
+            let _ = decode(&trace_bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let dir = std::env::temp_dir().join("gpumech_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let trace = workloads::by_name("sdk_transpose").unwrap().with_blocks(1).trace().unwrap();
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

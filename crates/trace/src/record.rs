@@ -1,0 +1,129 @@
+//! Dynamic trace records: the interface between the functional simulator
+//! and every downstream consumer (cache model, interval model, oracle).
+
+use gpumech_isa::{BlockId, InstKind, WarpId};
+use serde::{Deserialize, Serialize};
+
+use crate::launch::LaunchConfig;
+
+/// One dynamically executed warp-instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceInst {
+    /// Static PC (index into the kernel's instruction array).
+    pub pc: u32,
+    /// Latency class.
+    pub kind: InstKind,
+    /// Indices (into the owning [`WarpTrace::insts`]) of the instructions
+    /// that produced this instruction's register sources. Deduplicated and
+    /// sorted; empty for instructions with no register inputs.
+    pub deps: Vec<u32>,
+    /// Bitmask of active lanes.
+    pub active_mask: u32,
+    /// Per-active-lane byte addresses for memory instructions, in ascending
+    /// lane order. Empty for non-memory instructions.
+    pub addrs: Vec<u64>,
+}
+
+impl TraceInst {
+    /// Number of active lanes.
+    #[must_use]
+    pub fn active_lanes(&self) -> u32 {
+        self.active_mask.count_ones()
+    }
+}
+
+/// The full dynamic trace of one warp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpTrace {
+    /// Grid-global warp id.
+    pub warp: WarpId,
+    /// Owning thread block.
+    pub block: BlockId,
+    /// Executed instructions in program order.
+    pub insts: Vec<TraceInst>,
+}
+
+impl WarpTrace {
+    /// Number of dynamic instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the warp executed nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Count of dynamic global-memory instructions.
+    #[must_use]
+    pub fn global_mem_insts(&self) -> usize {
+        self.insts.iter().filter(|i| i.kind.is_global_mem()).count()
+    }
+}
+
+/// The traces of every warp of a kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelTrace {
+    /// Kernel name (copied from the kernel definition).
+    pub name: String,
+    /// Launch geometry that produced the trace.
+    pub launch: LaunchConfig,
+    /// Per-warp traces, indexed by grid-global warp id.
+    pub warps: Vec<WarpTrace>,
+}
+
+impl KernelTrace {
+    /// Total dynamic warp-instructions across all warps.
+    #[must_use]
+    pub fn total_insts(&self) -> usize {
+        self.warps.iter().map(WarpTrace::len).sum()
+    }
+
+    /// Total dynamic global-memory instructions across all warps.
+    #[must_use]
+    pub fn total_global_mem_insts(&self) -> usize {
+        self.warps.iter().map(WarpTrace::global_mem_insts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_isa::MemSpace;
+
+    fn inst(kind: InstKind, mask: u32) -> TraceInst {
+        TraceInst { pc: 0, kind, deps: vec![], active_mask: mask, addrs: vec![] }
+    }
+
+    #[test]
+    fn active_lane_count() {
+        assert_eq!(inst(InstKind::IntAlu, 0xFFFF_FFFF).active_lanes(), 32);
+        assert_eq!(inst(InstKind::IntAlu, 0b1011).active_lanes(), 3);
+    }
+
+    #[test]
+    fn trace_counters() {
+        let wt = WarpTrace {
+            warp: WarpId::new(0),
+            block: BlockId::new(0),
+            insts: vec![
+                inst(InstKind::IntAlu, 1),
+                inst(InstKind::Load(MemSpace::Global), 1),
+                inst(InstKind::Load(MemSpace::Shared), 1),
+                inst(InstKind::Store(MemSpace::Global), 1),
+            ],
+        };
+        assert_eq!(wt.len(), 4);
+        assert!(!wt.is_empty());
+        assert_eq!(wt.global_mem_insts(), 2);
+        let kt = KernelTrace {
+            name: "k".into(),
+            launch: LaunchConfig::new(32, 1),
+            warps: vec![wt.clone(), wt],
+        };
+        assert_eq!(kt.total_insts(), 8);
+        assert_eq!(kt.total_global_mem_insts(), 4);
+    }
+}

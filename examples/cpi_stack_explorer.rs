@@ -1,0 +1,60 @@
+//! The Section VII application: use CPI stacks to find a kernel's scaling
+//! bottleneck as the number of resident warps grows.
+//!
+//! Prints the CPI stack at 8/16/32/48 warps per core for a chosen kernel
+//! and names the dominant bottleneck at each point — the "what limits the
+//! performance of a given hardware configuration" question the paper's
+//! CPI-stack tool answers.
+//!
+//! Run with: `cargo run --release --example cpi_stack_explorer [kernel]`
+
+use gpumech::core::{Gpumech, SchedulingPolicy, StallCategory};
+use gpumech::isa::SimConfig;
+use gpumech::trace::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cfd_compute_flux".to_string());
+    let workload = workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown kernel {name}; see workloads::all()"))
+        .with_blocks(64);
+
+    println!("kernel: {} — {}", workload.name, workload.description);
+    println!("\n{:<8}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}{:>10}  bottleneck",
+        "warps", "BASE", "DEP", "L1", "L2", "DRAM", "MSHR", "QUEUE", "CPI");
+
+    let trace = workload.trace()?;
+    let mut best: Option<(usize, f64)> = None;
+    for warps in [8usize, 16, 32, 48] {
+        let cfg = SimConfig::table1().with_warps_per_core(warps);
+        let model = Gpumech::new(cfg);
+        let analysis = model.analyze(&trace)?;
+        let p = model.predict_from_analysis(
+            &analysis,
+            SchedulingPolicy::RoundRobin,
+            gpumech::core::Model::MtMshrBand,
+            gpumech::core::SelectionMethod::Clustering,
+        );
+        let stack = p.cpi;
+        // The dominant non-BASE category is the bottleneck to attack.
+        let bottleneck = StallCategory::ALL
+            .into_iter()
+            .filter(|&c| c != StallCategory::Base)
+            .max_by(|&a, &b| stack.get(a).total_cmp(&stack.get(b)))
+            .expect("categories exist");
+        print!("{warps:<8}");
+        for cat in StallCategory::ALL {
+            print!("{:>8.2}", stack.get(cat));
+        }
+        println!("{:>10.2}  {bottleneck}", stack.total());
+
+        // Throughput = warps*IPC-ish; lower CPI at equal width is better.
+        if best.is_none() || stack.total() < best.expect("set").1 {
+            best = Some((warps, stack.total()));
+        }
+    }
+    let (warps, cpi) = best.expect("swept at least one point");
+    println!("\nbest configuration: {warps} warps/core (predicted CPI {cpi:.2})");
+    println!("(increase the dominant category's resource — e.g. MSHRs for MSHR, \
+              bandwidth for QUEUE — or reduce divergence in software)");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Modeling your own kernel: build a kernel in the IR, trace it, and ask
+//! GPUMech where the cycles go.
+//!
+//! The kernel below is a histogram-style loop: a coalesced load feeds a
+//! data-dependent scatter store — a classic divergence trap. We model it
+//! twice: once with the scatter, once with a coalesced store, to quantify
+//! what coalescing the writes would buy.
+//!
+//! Run with: `cargo run --release --example custom_kernel`
+
+use gpumech::core::{Gpumech, SchedulingPolicy};
+use gpumech::isa::{KernelBuilder, MemSpace, Operand, SimConfig, ValueOp};
+use gpumech::trace::{trace_kernel, LaunchConfig};
+
+/// Builds the histogram kernel; `scatter` selects divergent vs coalesced
+/// stores.
+fn histogram(scatter: bool) -> gpumech::isa::Kernel {
+    let mut b = KernelBuilder::new(if scatter { "histo_scatter" } else { "histo_coalesced" });
+    let off = b.alu(ValueOp::Mul, &[Operand::Tid, Operand::Imm(4)]);
+    let i = b.alu(ValueOp::Mov, &[Operand::Imm(0)]);
+    b.loop_begin();
+    // Coalesced read of the input chunk for this trip.
+    let t = b.alu(ValueOp::Mul, &[Operand::Reg(i), Operand::Imm(8 * 1024 * 1024)]);
+    let a0 = b.alu(ValueOp::Add, &[Operand::Reg(off), Operand::Reg(t)]);
+    let a = b.alu(ValueOp::Add, &[Operand::Reg(a0), Operand::Imm(1 << 32)]);
+    let x = b.load(MemSpace::Global, Operand::Reg(a));
+    // Store: either a data-dependent scatter into the bins, or coalesced.
+    let store_addr = if scatter {
+        let bin = b.alu(ValueOp::Rem, &[Operand::Reg(x), Operand::Imm(1 << 20)]);
+        let al = b.alu(ValueOp::And, &[Operand::Reg(bin), Operand::Imm(!3u64)]);
+        b.alu(ValueOp::Add, &[Operand::Reg(al), Operand::Imm(2 << 32)])
+    } else {
+        b.alu(ValueOp::Add, &[Operand::Reg(a0), Operand::Imm(2 << 32)])
+    };
+    b.store(MemSpace::Global, Operand::Reg(store_addr), Operand::Reg(x));
+    b.alu_into(i, ValueOp::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+    let c = b.alu(ValueOp::CmpLt, &[Operand::Reg(i), Operand::Imm(8)]);
+    b.loop_end_while(Operand::Reg(c));
+    b.finish(vec![])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::table1();
+    let launch = LaunchConfig::new(256, 64);
+
+    for scatter in [true, false] {
+        let kernel = histogram(scatter);
+        let trace = trace_kernel(&kernel, launch)?;
+        let p = Gpumech::new(cfg.clone()).predict_trace(
+            &trace,
+            SchedulingPolicy::GreedyThenOldest,
+            gpumech::core::Model::MtMshrBand,
+            gpumech::core::SelectionMethod::Clustering,
+        )?;
+        println!("{:<18} predicted CPI {:>7.2}   (QUEUE {:>6.2}, MSHR {:>6.2}, DRAM {:>6.2})",
+            kernel.name, p.cpi_total(), p.cpi.queue, p.cpi.mshr, p.cpi.dram);
+    }
+    println!("\nthe gap between the two rows is what coalescing the histogram's\n\
+              writes is worth on this machine — no timing simulation needed");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: predict a kernel's performance with GPUMech and compare
+//! against the cycle-level oracle.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpumech::core::{Gpumech, SchedulingPolicy};
+use gpumech::isa::SimConfig;
+use gpumech::timing::simulate;
+use gpumech::trace::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Table I machine from the paper: 16 cores, 32 warps/core,
+    // 32 KB L1 with 32 MSHRs, 768 KB L2, 192 GB/s DRAM.
+    let cfg = SimConfig::table1();
+
+    // One of the 40 bundled workloads (a coalesced streaming kernel).
+    let workload = workloads::by_name("cfd_step_factor")
+        .expect("bundled workload")
+        .with_blocks(64); // shrink the grid so the example runs in seconds
+
+    // GPUMech prediction: functional trace -> cache statistics -> interval
+    // profiles -> representative warp -> multi-warp + contention models.
+    let prediction = Gpumech::new(cfg.clone()).predict(&workload, SchedulingPolicy::RoundRobin)?;
+
+    println!("kernel: {} — {}", workload.name, workload.description);
+    println!("predicted CPI: {:.3}", prediction.cpi_total());
+    println!("  CPI stack:");
+    for (cat, value) in prediction.cpi.components() {
+        if value > 0.0005 {
+            println!("    {cat:<6} {value:>8.3}");
+        }
+    }
+
+    // Validate against the detailed timing simulator, as the paper does.
+    let trace = workload.trace()?;
+    let oracle = simulate(&trace, &cfg, SchedulingPolicy::RoundRobin)?;
+    let error = (prediction.cpi_total() - oracle.cpi()).abs() / oracle.cpi();
+    println!("oracle CPI:    {:.3}", oracle.cpi());
+    println!("relative error: {:.1}%", 100.0 * error);
+    Ok(())
+}
