@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root; fails fast on the first
+# broken step.
+#
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. clippy with warnings denied
+#   4. `gpumech lint` over the 40-workload library (nonzero exit on any
+#      error-severity finding)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== gpumech lint =="
+./target/release/gpumech lint --min-severity warning
+
+echo "CI OK"

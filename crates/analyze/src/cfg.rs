@@ -1,0 +1,514 @@
+//! Instruction-level control-flow graph, dominators, and post-dominators.
+//!
+//! Kernels are small (tens to a few hundred static instructions), so the
+//! CFG works at instruction granularity with dense bitset dominator sets —
+//! the O(n²) iterative scheme is simpler than Lengauer-Tarjan and plenty
+//! fast at this scale.
+//!
+//! Post-dominance is what the SIMT reconvergence stack relies on: the
+//! engine pushes per-path frames at a divergent branch and pops them when
+//! the PC reaches the branch's stored reconvergence point. That point must
+//! be the *immediate post-dominator* of the branch, or lanes re-merge too
+//! early (correctness) or too late (spurious serialization). [`Cfg::ipdom`]
+//! computes the ground truth to verify against.
+
+use gpumech_isa::kernel::BranchCond;
+use gpumech_isa::{InstKind, Kernel};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Dense bitset matrix: one row of `n` bits per instruction.
+#[derive(Debug, Clone)]
+struct BitGrid {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitGrid {
+    fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitGrid { words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    fn row(&self, r: usize) -> &[u64] {
+        &self.bits[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.bits[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    fn set(&mut self, r: usize, c: usize) {
+        self.row_mut(r)[c / 64] |= 1 << (c % 64);
+    }
+
+    fn get(&self, r: usize, c: usize) -> bool {
+        self.row(r)[c / 64] & (1 << (c % 64)) != 0
+    }
+
+    fn fill_row(&mut self, r: usize) {
+        for w in self.row_mut(r) {
+            *w = u64::MAX;
+        }
+    }
+
+    /// `row(dst) &= row(src)`; returns `true` if `dst` changed.
+    fn intersect_rows(&mut self, dst: usize, src: usize) -> bool {
+        let (d, s) = (dst * self.words_per_row, src * self.words_per_row);
+        let mut changed = false;
+        for w in 0..self.words_per_row {
+            let before = self.bits[d + w];
+            let after = before & self.bits[s + w];
+            if after != before {
+                self.bits[d + w] = after;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Members of row `r` that are valid instruction indices.
+    fn members(&self, r: usize, n: usize) -> Vec<u32> {
+        (0..n).filter(|&c| self.get(r, c)).map(|c| c as u32).collect()
+    }
+}
+
+/// Instruction-level CFG with reachability and (post-)dominator facts.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Number of instructions.
+    pub n: usize,
+    /// Successor PCs of each instruction.
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessor PCs of each instruction.
+    pub preds: Vec<Vec<u32>>,
+    /// Reachable from the entry (pc 0)?
+    pub reachable: Vec<bool>,
+    /// Can reach an `Exit` instruction?
+    pub reaches_exit: Vec<bool>,
+    dom: BitGrid,
+    pdom: BitGrid,
+}
+
+/// Successor PCs of the instruction at `pc`, assuming in-range targets
+/// (callers run [`Kernel::validate`] first).
+fn successors(kernel: &Kernel, pc: u32) -> Vec<u32> {
+    let inst = &kernel.insts[pc as usize];
+    let n = kernel.insts.len() as u32;
+    match inst.kind {
+        InstKind::Exit => vec![],
+        InstKind::Branch => {
+            let target = inst.target.expect("validated branch has a target");
+            if inst.cond == BranchCond::Always {
+                vec![target]
+            } else if pc + 1 < n && target != pc + 1 {
+                vec![target, pc + 1]
+            } else {
+                vec![target]
+            }
+        }
+        _ if pc + 1 < n => vec![pc + 1],
+        _ => vec![],
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG and computes reachability and dominator sets.
+    ///
+    /// The kernel must already pass [`Kernel::validate`] (all branch targets
+    /// in range); this is enforced by [`crate::analyze`] before CFG
+    /// construction.
+    #[must_use]
+    pub fn build(kernel: &Kernel) -> Self {
+        let n = kernel.insts.len();
+        let succs: Vec<Vec<u32>> = (0..n as u32).map(|pc| successors(kernel, pc)).collect();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (pc, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s as usize].push(pc as u32);
+            }
+        }
+
+        // Forward reachability from the entry.
+        let mut reachable = vec![false; n];
+        if n > 0 {
+            let mut stack = vec![0u32];
+            reachable[0] = true;
+            while let Some(v) = stack.pop() {
+                for &s in &succs[v as usize] {
+                    if !reachable[s as usize] {
+                        reachable[s as usize] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+
+        // Backward reachability from every Exit.
+        let mut reaches_exit = vec![false; n];
+        let mut stack: Vec<u32> = (0..n)
+            .filter(|&i| kernel.insts[i].kind == InstKind::Exit)
+            .map(|i| i as u32)
+            .collect();
+        for &e in &stack {
+            reaches_exit[e as usize] = true;
+        }
+        while let Some(v) = stack.pop() {
+            for &p in &preds[v as usize] {
+                if !reaches_exit[p as usize] {
+                    reaches_exit[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+
+        let dom = Self::dominators(n, &preds, &reachable);
+        let pdom = Self::post_dominators(kernel, n, &succs, &reaches_exit);
+        Cfg { n, succs, preds, reachable, reaches_exit, dom, pdom }
+    }
+
+    fn dominators(n: usize, preds: &[Vec<u32>], reachable: &[bool]) -> BitGrid {
+        let mut dom = BitGrid::new(n, n);
+        if n == 0 {
+            return dom;
+        }
+        dom.set(0, 0);
+        for (v, _) in reachable.iter().enumerate().skip(1).filter(|(_, r)| **r) {
+            dom.fill_row(v);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 1..n {
+                if !reachable[v] {
+                    continue;
+                }
+                // dom(v) = {v} ∪ ∩ dom(p): intersect in place, restore the
+                // self-bit, and detect change against a snapshot (the
+                // intersection may transiently drop the self-bit, so
+                // per-operation change tracking would never settle).
+                let before = dom.row(v).to_vec();
+                for &p in &preds[v] {
+                    if reachable[p as usize] {
+                        dom.intersect_rows(v, p as usize);
+                    }
+                }
+                dom.set(v, v);
+                if dom.row(v) != before.as_slice() {
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    fn post_dominators(kernel: &Kernel, n: usize, succs: &[Vec<u32>], reaches_exit: &[bool]) -> BitGrid {
+        let mut pdom = BitGrid::new(n, n);
+        for (v, _) in reaches_exit.iter().enumerate().filter(|(_, r)| **r) {
+            if kernel.insts[v].kind == InstKind::Exit {
+                pdom.set(v, v);
+            } else {
+                pdom.fill_row(v);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in (0..n).rev() {
+                if !reaches_exit[v] || kernel.insts[v].kind == InstKind::Exit {
+                    continue;
+                }
+                // Post-dominance counts only paths that reach an exit, so
+                // successors stuck in infinite loops do not constrain it.
+                // Snapshot-compare for the same reason as in `dominators`.
+                let before = pdom.row(v).to_vec();
+                for &s in &succs[v] {
+                    if reaches_exit[s as usize] {
+                        pdom.intersect_rows(v, s as usize);
+                    }
+                }
+                pdom.set(v, v);
+                if pdom.row(v) != before.as_slice() {
+                    changed = true;
+                }
+            }
+        }
+        pdom
+    }
+
+    /// Does instruction `a` dominate instruction `b`?
+    #[must_use]
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        self.dom.get(b as usize, a as usize)
+    }
+
+    /// Does instruction `a` post-dominate instruction `b`?
+    #[must_use]
+    pub fn post_dominates(&self, a: u32, b: u32) -> bool {
+        self.pdom.get(b as usize, a as usize)
+    }
+
+    /// The immediate post-dominator of `pc`: the closest strict
+    /// post-dominator. `None` if `pc` has no strict post-dominator (e.g. it
+    /// cannot reach the exit, or paths end at different `Exit`s).
+    #[must_use]
+    pub fn ipdom(&self, pc: u32) -> Option<u32> {
+        let candidates: Vec<u32> = self
+            .pdom
+            .members(pc as usize, self.n)
+            .into_iter()
+            .filter(|&c| c != pc)
+            .collect();
+        candidates
+            .iter()
+            .copied()
+            .find(|&p| candidates.iter().all(|&q| q == p || self.post_dominates(q, p)))
+    }
+
+    /// PCs on some path from `from` (inclusive) that does not pass through
+    /// `stop` — the *influence region* of a branch whose reconvergence point
+    /// is `stop`. Instructions in this region execute under the branch's
+    /// (possibly partial) mask.
+    #[must_use]
+    pub fn region_until(&self, from: &[u32], stop: u32) -> Vec<u32> {
+        let mut seen = vec![false; self.n];
+        let mut stack: Vec<u32> = Vec::new();
+        for &f in from {
+            if f != stop && !seen[f as usize] {
+                seen[f as usize] = true;
+                stack.push(f);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            for &s in &self.succs[v as usize] {
+                if s != stop && !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Structural checks over the built CFG:
+///
+/// * `reconv-mismatch` (Error) — a conditional branch's stored
+///   reconvergence PC is not its immediate post-dominator, so the SIMT
+///   stack would re-merge lanes at the wrong point;
+/// * `irreducible-cfg` (Error) — a retreating edge whose target does not
+///   dominate its source: control flow the single-reconvergence-point
+///   stack discipline cannot represent;
+/// * `no-exit-path` (Warning) — a conditional branch from which no path
+///   reaches `Exit` (an unconditionally infinite loop);
+/// * `unreachable-code` (Warning) — instructions no entry path reaches.
+pub(crate) fn verify(kernel: &Kernel, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for pc in 0..cfg.n {
+        if !cfg.reachable[pc] {
+            continue;
+        }
+        let inst = &kernel.insts[pc];
+        if inst.kind != InstKind::Branch || inst.cond == BranchCond::Always {
+            continue;
+        }
+        if !cfg.reaches_exit[pc] {
+            diags.push(Diagnostic::at(
+                Severity::Warning,
+                "no-exit-path",
+                pc as u32,
+                "no path from this branch reaches Exit; the warp can only \
+                 terminate via the dynamic instruction limit",
+            ));
+            continue;
+        }
+        let stored = inst.reconv.expect("validated conditional branch has reconv");
+        match cfg.ipdom(pc as u32) {
+            Some(ipdom) if ipdom == stored => {}
+            Some(ipdom) => diags.push(Diagnostic::at(
+                Severity::Error,
+                "reconv-mismatch",
+                pc as u32,
+                format!(
+                    "stored reconvergence pc {stored} is not the immediate \
+                     post-dominator (pc {ipdom}); lanes would re-merge at the wrong point"
+                ),
+            )),
+            None => diags.push(Diagnostic::at(
+                Severity::Error,
+                "reconv-mismatch",
+                pc as u32,
+                format!(
+                    "stored reconvergence pc {stored}, but the branch has no \
+                     post-dominator (paths end at different exits)"
+                ),
+            )),
+        }
+    }
+
+    // Reducibility: in the linear PC layout the builder produces, every
+    // loop back edge jumps to a header that dominates it. A PC-decreasing
+    // edge whose target does not dominate its source is a second entry
+    // into a loop — irreducible control flow.
+    for u in 0..cfg.n {
+        if !cfg.reachable[u] {
+            continue;
+        }
+        for &v in &cfg.succs[u] {
+            if (v as usize) <= u && !cfg.dominates(v, u as u32) {
+                diags.push(Diagnostic::at(
+                    Severity::Error,
+                    "irreducible-cfg",
+                    u as u32,
+                    format!(
+                        "retreating edge to pc {v} whose target does not dominate \
+                         this instruction: loop with multiple entries"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Report unreachable instructions as contiguous runs.
+    let mut pc = 0;
+    while pc < cfg.n {
+        if cfg.reachable[pc] {
+            pc += 1;
+            continue;
+        }
+        let start = pc;
+        while pc < cfg.n && !cfg.reachable[pc] {
+            pc += 1;
+        }
+        diags.push(Diagnostic::at(
+            Severity::Warning,
+            "unreachable-code",
+            start as u32,
+            format!("pcs {start}..{} are unreachable from the entry", pc - 1),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_isa::{KernelBuilder, Operand, ValueOp};
+
+    fn if_else_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(16)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.if_else();
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(2)]);
+        b.if_end();
+        b.finish(vec![])
+        // Layout: 0 cmp, 1 br, 2 then, 3 jump, 4 else, 5 exit.
+    }
+
+    #[test]
+    fn if_else_ipdom_is_reconvergence_point() {
+        let k = if_else_kernel();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.succs[1], vec![4, 2]);
+        assert_eq!(cfg.ipdom(1), Some(5));
+        assert_eq!(k.insts[1].reconv, Some(5));
+        assert!(cfg.post_dominates(5, 1));
+        assert!(!cfg.post_dominates(2, 1), "then arm is skippable");
+        assert!(cfg.dominates(0, 4));
+        assert!(!cfg.dominates(2, 4), "else arm not dominated by then arm");
+    }
+
+    #[test]
+    fn loop_ipdom_is_fallthrough() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.alu(ValueOp::Mov, &[Operand::Imm(0)]);
+        b.loop_begin();
+        b.alu_into(i, ValueOp::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Reg(i), Operand::Imm(10)]);
+        b.loop_end_while(Operand::Reg(c));
+        let k = b.finish(vec![]);
+        // Layout: 0 mov, 1 add, 2 cmp, 3 branch(target 1, reconv 4), 4 exit.
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.ipdom(3), Some(4));
+        assert!(cfg.dominates(1, 3), "loop head dominates the back edge");
+    }
+
+    #[test]
+    fn straight_line_everything_reaches_exit() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        let k = b.finish(vec![]);
+        let cfg = Cfg::build(&k);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        assert!(cfg.reaches_exit.iter().all(|&r| r));
+        assert_eq!(cfg.ipdom(0), Some(1));
+    }
+
+    #[test]
+    fn region_until_covers_both_arms() {
+        let k = if_else_kernel();
+        let cfg = Cfg::build(&k);
+        let mut region = cfg.region_until(&[4, 2], 5);
+        region.sort_unstable();
+        assert_eq!(region, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn conditional_infinite_loop_still_reaches_exit_statically() {
+        // The CFG does not const-fold conditions: the IfNonZero back edge
+        // keeps its fallthrough successor, so the loop statically reaches
+        // exit even though cond = Imm(1) loops forever dynamically.
+        let mut b = KernelBuilder::new("k");
+        b.loop_begin();
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.loop_end_while(Operand::Imm(1));
+        let k = b.finish(vec![]);
+        let cfg = Cfg::build(&k);
+        assert!(cfg.reaches_exit.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn unconditional_loop_does_not_reach_exit() {
+        use gpumech_isa::StaticInst;
+        // 0: alu, 1: jump -> 0, 2: exit (unreachable).
+        let alu = StaticInst {
+            kind: InstKind::IntAlu,
+            op: ValueOp::Mov,
+            dst: Some(gpumech_isa::Reg(0)),
+            srcs: vec![Operand::Imm(1)],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        };
+        let jump = StaticInst {
+            kind: InstKind::Branch,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: Some(0),
+            cond: BranchCond::Always,
+            reconv: None,
+        };
+        let exit = StaticInst {
+            kind: InstKind::Exit,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        };
+        let k = Kernel { name: "spin".into(), insts: vec![alu, jump, exit], params: vec![] };
+        assert!(k.validate().is_ok());
+        let cfg = Cfg::build(&k);
+        assert!(!cfg.reaches_exit[0]);
+        assert!(!cfg.reaches_exit[1]);
+        assert!(cfg.reaches_exit[2]);
+        assert!(!cfg.reachable[2]);
+        assert_eq!(cfg.ipdom(1), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Forward/backward register dataflow: initialization and liveness.
+//!
+//! `NUM_REGS` is 64, so every register set is a single `u64` bitmask and
+//! the fixpoints are cheap word operations.
+//!
+//! Three analyses run over the CFG:
+//!
+//! * **may-be-uninitialized** (forward, union join): a register is flagged
+//!   at a use if *some* entry path reaches it without a write;
+//! * **must-be-uninitialized** (forward, intersection join): flagged if
+//!   *no* entry path writes it first — a definite read-before-write, which
+//!   is an [`Severity::Error`];
+//! * **liveness** (backward, union join): used for dead-value reporting
+//!   and the register-pressure metric.
+//!
+//! The functional engine zero-initializes registers, so even an erroneous
+//! read-before-write executes deterministically — but it almost always
+//! means the kernel author forgot a def, so the definite case rejects the
+//! kernel while the path-dependent case only warns. Unread values are
+//! merely [`Severity::Info`]: latency-chain and memory-traffic workloads
+//! write values purely for their pipeline or DRAM side effects.
+
+use gpumech_isa::Kernel;
+use gpumech_isa::kernel::Operand;
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Severity};
+
+/// Results of the register dataflow pass.
+pub(crate) struct Dataflow {
+    /// Findings (read-before-write, maybe-uninit, unused values).
+    pub(crate) diagnostics: Vec<Diagnostic>,
+    /// Maximum number of simultaneously live registers (register pressure).
+    pub(crate) max_live: u32,
+    /// Mask of registers with at least one reachable write.
+    pub(crate) written: u64,
+    /// Mask of registers that may be read before being written.
+    pub(crate) maybe_uninit_reads: u64,
+}
+
+/// Bitmask of registers read by the instruction at `pc`.
+fn uses(kernel: &Kernel, pc: usize) -> u64 {
+    let mut mask = 0u64;
+    for op in &kernel.insts[pc].srcs {
+        if let Operand::Reg(r) = op {
+            mask |= 1 << r.0;
+        }
+    }
+    mask
+}
+
+/// Bitmask of the register written by the instruction at `pc`, if any.
+fn def(kernel: &Kernel, pc: usize) -> u64 {
+    kernel.insts[pc].dst.map_or(0, |r| 1 << r.0)
+}
+
+pub(crate) fn run(kernel: &Kernel, cfg: &Cfg) -> Dataflow {
+    let n = kernel.insts.len();
+    let use_masks: Vec<u64> = (0..n).map(|pc| uses(kernel, pc)).collect();
+    let def_masks: Vec<u64> = (0..n).map(|pc| def(kernel, pc)).collect();
+
+    // Forward may-be-uninitialized: least fixpoint from empty, union join.
+    // Entry starts with every register uninitialized.
+    let mut may_in = vec![0u64; n];
+    if n > 0 {
+        may_in[0] = u64::MAX;
+    }
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if !cfg.reachable[v] {
+                continue;
+            }
+            let mut inset = if v == 0 { u64::MAX } else { 0 };
+            for &p in &cfg.preds[v] {
+                let p = p as usize;
+                if cfg.reachable[p] {
+                    inset |= may_in[p] & !def_masks[p];
+                }
+            }
+            if inset != may_in[v] {
+                may_in[v] = inset;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Forward must-be-uninitialized: greatest fixpoint from full,
+    // intersection join.
+    let mut must_in = vec![u64::MAX; n];
+    loop {
+        let mut changed = false;
+        for v in 1..n {
+            if !cfg.reachable[v] {
+                continue;
+            }
+            let mut inset = u64::MAX;
+            for &p in &cfg.preds[v] {
+                let p = p as usize;
+                if cfg.reachable[p] {
+                    inset &= must_in[p] & !def_masks[p];
+                }
+            }
+            if inset != must_in[v] {
+                must_in[v] = inset;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Backward liveness: least fixpoint from empty.
+    let mut live_in = vec![0u64; n];
+    let mut live_out = vec![0u64; n];
+    loop {
+        let mut changed = false;
+        for v in (0..n).rev() {
+            let mut out = 0u64;
+            for &s in &cfg.succs[v] {
+                out |= live_in[s as usize];
+            }
+            let inset = use_masks[v] | (out & !def_masks[v]);
+            if out != live_out[v] || inset != live_in[v] {
+                live_out[v] = out;
+                live_in[v] = inset;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut written = 0u64;
+    let mut maybe_uninit_reads = 0u64;
+    let mut max_live = 0u32;
+    for v in 0..n {
+        if !cfg.reachable[v] {
+            continue;
+        }
+        written |= def_masks[v];
+        max_live = max_live.max(live_in[v].count_ones());
+
+        let mut read = use_masks[v];
+        while read != 0 {
+            let r = read.trailing_zeros();
+            read &= read - 1;
+            let bit = 1u64 << r;
+            if must_in[v] & bit != 0 {
+                diagnostics.push(Diagnostic::at(
+                    Severity::Error,
+                    "read-before-write",
+                    v as u32,
+                    format!("register r{r} is read but no path from entry writes it first"),
+                ));
+            } else if may_in[v] & bit != 0 {
+                maybe_uninit_reads |= bit;
+                diagnostics.push(Diagnostic::at(
+                    Severity::Warning,
+                    "maybe-uninit-read",
+                    v as u32,
+                    format!("register r{r} may be read before it is written on some path"),
+                ));
+            }
+        }
+
+        if def_masks[v] != 0 && live_out[v] & def_masks[v] == 0 {
+            let r = def_masks[v].trailing_zeros();
+            diagnostics.push(Diagnostic::at(
+                Severity::Info,
+                "unused-value",
+                v as u32,
+                format!("value written to r{r} is never read (latency filler or dead code)"),
+            ));
+        }
+    }
+
+    Dataflow { diagnostics, max_live, written, maybe_uninit_reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_isa::kernel::{KernelBuilder, Reg, ValueOp};
+    use gpumech_isa::AddrPattern;
+
+    fn analyze(kernel: &Kernel) -> Dataflow {
+        run(kernel, &Cfg::build(kernel))
+    }
+
+    #[test]
+    fn clean_kernel_has_no_uninit_findings() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.alu(ValueOp::Mov, &[Operand::Imm(7)]);
+        let y = b.alu(ValueOp::Add, &[Operand::Reg(x), Operand::Imm(1)]);
+        b.store_pattern(AddrPattern::Coalesced { base: 0, elem_bytes: 8 }, Operand::Reg(y));
+        let k = b.finish(vec![]);
+        let df = analyze(&k);
+        assert!(df.diagnostics.iter().all(|d| d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn definite_read_before_write_is_an_error() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Reg(Reg(9)), Operand::Imm(1)]);
+        let k = b.finish(vec![]);
+        let df = analyze(&k);
+        let err = df
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "read-before-write")
+            .expect("expected a read-before-write error");
+        assert_eq!(err.severity, Severity::Error);
+        assert_eq!(err.pc, Some(0));
+    }
+
+    #[test]
+    fn path_dependent_uninit_read_is_a_warning() {
+        // x is written only in the then-arm, then read after reconvergence.
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(4)]);
+        let x = b.fresh_reg();
+        b.if_begin(Operand::Reg(c));
+        b.alu_into(x, ValueOp::Mov, &[Operand::Imm(1)]);
+        b.if_end();
+        let _ = b.alu(ValueOp::Add, &[Operand::Reg(x), Operand::Imm(1)]);
+        let k = b.finish(vec![]);
+        let df = analyze(&k);
+        assert!(df.diagnostics.iter().any(|d| d.code == "maybe-uninit-read"));
+        assert!(!df.diagnostics.iter().any(|d| d.code == "read-before-write"));
+        assert_ne!(df.maybe_uninit_reads & (1 << x.0), 0);
+    }
+
+    #[test]
+    fn unused_value_is_reported_as_info() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Mov, &[Operand::Imm(3)]);
+        let k = b.finish(vec![]);
+        let df = analyze(&k);
+        let info = df
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "unused-value")
+            .expect("expected an unused-value info");
+        assert_eq!(info.severity, Severity::Info);
+    }
+
+    #[test]
+    fn register_pressure_counts_simultaneously_live_regs() {
+        let mut b = KernelBuilder::new("k");
+        let a = b.alu(ValueOp::Mov, &[Operand::Imm(1)]);
+        let c = b.alu(ValueOp::Mov, &[Operand::Imm(2)]);
+        let s = b.alu(ValueOp::Add, &[Operand::Reg(a), Operand::Reg(c)]);
+        b.store_pattern(AddrPattern::Coalesced { base: 0, elem_bytes: 8 }, Operand::Reg(s));
+        let k = b.finish(vec![]);
+        let df = analyze(&k);
+        assert!(df.max_live >= 2, "a and c are live together, got {}", df.max_live);
+    }
+}

@@ -1,0 +1,68 @@
+//! Diagnostics: severities, stable codes, and display formatting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is.
+///
+/// `Error` findings mean the kernel must not be traced (the trace, and
+/// therefore every CPI prediction downstream, would be structurally
+/// meaningless). `Warning` findings are suspicious but executable;
+/// `Info` findings are observations (e.g. intentionally unused values in
+/// latency-chain workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Observation; no action needed.
+    Info,
+    /// Suspicious construct; the kernel still executes deterministically.
+    Warning,
+    /// Structural defect; the kernel is rejected by the pre-trace hook.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Severity level.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `reconv-mismatch`).
+    pub code: String,
+    /// PC the finding anchors to, if any.
+    pub pc: Option<u32>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic anchored at `pc`.
+    #[must_use]
+    pub fn at(severity: Severity, code: &str, pc: u32, message: impl Into<String>) -> Self {
+        Diagnostic { severity, code: code.to_string(), pc: Some(pc), message: message.into() }
+    }
+
+    /// Builds a kernel-wide diagnostic (no PC).
+    #[must_use]
+    pub fn global(severity: Severity, code: &str, message: impl Into<String>) -> Self {
+        Diagnostic { severity, code: code.to_string(), pc: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "{}[{}] pc {}: {}", self.severity, self.code, pc, self.message),
+            None => write!(f, "{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}

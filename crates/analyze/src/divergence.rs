@@ -1,0 +1,475 @@
+//! Divergence and lane-affine address analysis.
+//!
+//! Each register is abstracted by how its value varies *across the lanes of
+//! one warp* ([`AbsVal`]):
+//!
+//! ```text
+//!            Divergent            (arbitrary per-lane values)
+//!           /        \
+//!       Affine(k)     |           (base + k·lane, base warp-uniform, k ≠ 0)
+//!           \        /
+//!            Uniform              (same unknown value in every lane)
+//!               |
+//!            Const(c)             (same known value in every lane)
+//! ```
+//!
+//! The analysis is flow-insensitive per register (one abstract value joins
+//! every reachable write) with two refinements that make it sound for SIMT
+//! execution:
+//!
+//! * **control-dependence taint** — a write inside the influence region of a
+//!   potentially divergent branch (reachable from the branch's successors
+//!   without passing its reconvergence point) executes under a partial mask,
+//!   so some lanes may keep a stale value: the write is forced to
+//!   [`AbsVal::Divergent`];
+//! * **never-written registers** are `Const(0)`: the functional engine
+//!   zero-initializes the register file, and a register with no reachable
+//!   write (or one that is read before its first write) contributes its
+//!   initial zero.
+//!
+//! Branch facts feed the tracer's uniform-branch fast path; address facts
+//! ([`CoalesceClass`]) predict the coalescer's behaviour per memory
+//! instruction and bound the number of distinct 128-byte lines a warp can
+//! touch ([`MemAccess::max_requests`]).
+
+use gpumech_isa::kernel::{BranchCond, NUM_REGS};
+use gpumech_isa::{InstKind, Kernel, Operand, ValueOp};
+use serde::{Deserialize, Serialize};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Severity};
+
+/// Abstract cross-lane shape of a register value within one warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// The same known constant in every lane.
+    Const(u64),
+    /// The same (unknown) value in every lane.
+    Uniform,
+    /// `base + k·lane` with a warp-uniform base and `k != 0` (wrapping
+    /// arithmetic mod 2^64).
+    Affine(u64),
+    /// No cross-lane structure.
+    Divergent,
+}
+
+impl AbsVal {
+    /// Same value in every lane?
+    #[must_use]
+    pub fn is_uniform(self) -> bool {
+        matches!(self, AbsVal::Const(_) | AbsVal::Uniform)
+    }
+
+    /// Normalizes `Affine(0)` (which is warp-uniform) to `Uniform`.
+    fn affine(k: u64) -> Self {
+        if k == 0 { AbsVal::Uniform } else { AbsVal::Affine(k) }
+    }
+
+    /// Least upper bound in the lattice above.
+    #[must_use]
+    pub fn join(self, other: Self) -> Self {
+        use AbsVal::{Affine, Const, Divergent, Uniform};
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Const(_) | Uniform, Const(_) | Uniform) => Uniform,
+            (Affine(_), _) | (_, Affine(_)) | (Divergent, _) | (_, Divergent) => Divergent,
+        }
+    }
+
+    fn coeff(self) -> u64 {
+        if let AbsVal::Affine(k) = self { k } else { 0 }
+    }
+}
+
+/// Predicted coalescing behaviour of one static memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoalesceClass {
+    /// Every lane reads the same address: one request.
+    Broadcast,
+    /// Lane-affine with a small stride (≤ 8 bytes): adjacent lanes share
+    /// cache lines; a full warp touches at most a handful of lines.
+    Coalesced,
+    /// Lane-affine with the given stride magnitude in bytes: each lane
+    /// steps a fixed distance, touching proportionally many lines.
+    Strided(u64),
+    /// No affine structure: up to one request per lane.
+    Scattered,
+}
+
+/// Address facts for one static (global) memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Predicted coalescing class.
+    pub class: CoalesceClass,
+    /// Sound upper bound on distinct 128-byte lines one warp touches in a
+    /// single execution of this instruction (the coalescer's request count).
+    pub max_requests: u32,
+}
+
+const LINE_BYTES: u64 = 128;
+const MAX_LANES: u64 = 32;
+
+fn classify(addr: AbsVal) -> MemAccess {
+    match addr {
+        AbsVal::Const(_) | AbsVal::Uniform => {
+            MemAccess { class: CoalesceClass::Broadcast, max_requests: 1 }
+        }
+        AbsVal::Affine(k) => {
+            // Stride magnitude: a descending progression (k = -m mod 2^64)
+            // spans the same bytes as an ascending one.
+            let mag = k.min(k.wrapping_neg());
+            // Lanes 0..32 span at most 31·mag bytes; an interval of length L
+            // covers at most L/128 + 2 distinct lines.
+            let lines = (mag.saturating_mul(MAX_LANES - 1) / LINE_BYTES + 2).min(MAX_LANES);
+            let class = if mag <= 8 {
+                CoalesceClass::Coalesced
+            } else {
+                CoalesceClass::Strided(mag)
+            };
+            MemAccess { class, max_requests: lines as u32 }
+        }
+        AbsVal::Divergent => {
+            MemAccess { class: CoalesceClass::Scattered, max_requests: MAX_LANES as u32 }
+        }
+    }
+}
+
+/// Abstract value of an operand given the current register state.
+/// `None` is bottom: the register has no resolved write yet.
+fn operand_val(op: Operand, values: &[Option<AbsVal>; NUM_REGS]) -> Option<AbsVal> {
+    Some(match op {
+        Operand::Reg(r) => return values[r.0 as usize],
+        Operand::Imm(v) => AbsVal::Const(v),
+        // Within one warp, global tid = warp-uniform base + lane, and
+        // tid-in-block likewise; the raw lane index trivially so.
+        Operand::Tid | Operand::Lane | Operand::TidInBlock => AbsVal::Affine(1),
+        Operand::Block | Operand::WarpInBlock | Operand::Param(_) => AbsVal::Uniform,
+    })
+}
+
+/// Abstract transfer function mirroring `WarpMachine::eval`.
+fn transfer(op: ValueOp, args: &[AbsVal]) -> AbsVal {
+    use AbsVal::{Const, Divergent, Uniform};
+    let all_uniform = |args: &[AbsVal]| args.iter().all(|a| a.is_uniform());
+    if args.contains(&Divergent) {
+        // Every op here is per-lane pointwise, so divergence propagates.
+        return Divergent;
+    }
+    match op {
+        ValueOp::Mov => args.first().copied().unwrap_or(Const(0)),
+        ValueOp::Add => {
+            let k = args.iter().fold(0u64, |k, a| k.wrapping_add(a.coeff()));
+            match args.iter().try_fold(0u64, |s, a| match a {
+                Const(c) => Some(s.wrapping_add(*c)),
+                _ => None,
+            }) {
+                Some(sum) if k == 0 => Const(sum),
+                _ => AbsVal::affine(k),
+            }
+        }
+        ValueOp::Sub => {
+            let k = args[0].coeff().wrapping_sub(args[1].coeff());
+            match (args[0], args[1]) {
+                (Const(a), Const(b)) => Const(a.wrapping_sub(b)),
+                _ => AbsVal::affine(k),
+            }
+        }
+        ValueOp::Mul => {
+            let affine_count = args.iter().filter(|a| matches!(a, AbsVal::Affine(_))).count();
+            match affine_count {
+                0 => match args.iter().try_fold(1u64, |p, a| match a {
+                    Const(c) => Some(p.wrapping_mul(*c)),
+                    _ => None,
+                }) {
+                    Some(prod) => Const(prod),
+                    None => Uniform,
+                },
+                // c·(base + k·lane) = c·base + (c·k)·lane needs every other
+                // factor to be a known constant.
+                1 if args.iter().all(|a| matches!(a, Const(_) | AbsVal::Affine(_))) => {
+                    let k = args.iter().fold(1u64, |p, a| match a {
+                        Const(c) => p.wrapping_mul(*c),
+                        AbsVal::Affine(k) => p.wrapping_mul(*k),
+                        _ => p,
+                    });
+                    AbsVal::affine(k)
+                }
+                _ => Divergent,
+            }
+        }
+        ValueOp::Shl => match (args[0], args[1]) {
+            (Const(a), Const(s)) => Const(a << (s & 63)),
+            // a << s = a·2^s (wrapping), so an affine value keeps its shape.
+            (AbsVal::Affine(k), Const(s)) => AbsVal::affine(k << (s & 63)),
+            (a, s) if a.is_uniform() && s.is_uniform() => Uniform,
+            _ => Divergent,
+        },
+        ValueOp::Div
+        | ValueOp::Rem
+        | ValueOp::And
+        | ValueOp::Xor
+        | ValueOp::Shr
+        | ValueOp::Min
+        | ValueOp::Max
+        | ValueOp::CmpLt
+        | ValueOp::CmpEq
+        | ValueOp::CmpNe
+        | ValueOp::Hash => {
+            if all_uniform(args) { Uniform } else { Divergent }
+        }
+        ValueOp::Select => match args[0] {
+            Const(c) => args[if c != 0 { 1 } else { 2 }],
+            Uniform => args[1].join(args[2]),
+            _ => Divergent,
+        },
+    }
+}
+
+/// Results of the divergence pass.
+pub(crate) struct Divergence {
+    /// Final abstract value per register (bottom resolved to `Const(0)`).
+    pub(crate) reg_values: [AbsVal; NUM_REGS],
+    /// Per-pc: is the branch at this pc statically warp-uniform?
+    /// (`true` also for unconditional branches; `false` for non-branches.)
+    pub(crate) branch_uniform: Vec<bool>,
+    /// Per-pc address facts for global memory instructions.
+    pub(crate) mem: Vec<Option<MemAccess>>,
+    /// Info-level findings (divergent branches, scattered accesses).
+    pub(crate) diagnostics: Vec<Diagnostic>,
+}
+
+pub(crate) fn run(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    written: u64,
+    maybe_uninit_reads: u64,
+) -> Divergence {
+    let n = kernel.insts.len();
+
+    // Influence regions: influenced[pc] lists the conditional branches whose
+    // divergence taints a write at pc.
+    let mut influenced: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for pc in 0..n {
+        let inst = &kernel.insts[pc];
+        if inst.kind != InstKind::Branch || inst.cond == BranchCond::Always || !cfg.reachable[pc] {
+            continue;
+        }
+        let reconv = inst.reconv.expect("validated conditional branch has reconv");
+        for v in cfg.region_until(&cfg.succs[pc], reconv) {
+            influenced[v as usize].push(pc as u32);
+        }
+    }
+
+    // Seed: registers with no reachable write hold their initial zero, and
+    // registers that may be read before written contribute it as well.
+    let mut values: [Option<AbsVal>; NUM_REGS] = [None; NUM_REGS];
+    for (r, v) in values.iter_mut().enumerate() {
+        let bit = 1u64 << r;
+        if written & bit == 0 || maybe_uninit_reads & bit != 0 {
+            *v = Some(AbsVal::Const(0));
+        }
+    }
+
+    let branch_divergent = |pc: u32, values: &[Option<AbsVal>; NUM_REGS]| -> bool {
+        let inst = &kernel.insts[pc as usize];
+        match operand_val(inst.srcs[0], values) {
+            Some(v) => !v.is_uniform(),
+            None => false, // unresolved yet; later rounds re-check
+        }
+    };
+
+    loop {
+        let mut changed = false;
+        for (pc, infl) in influenced.iter().enumerate() {
+            if !cfg.reachable[pc] {
+                continue;
+            }
+            let inst = &kernel.insts[pc];
+            let Some(dst) = inst.dst else { continue };
+            let args: Option<Vec<AbsVal>> =
+                inst.srcs.iter().map(|&s| operand_val(s, &values)).collect();
+            let Some(args) = args else { continue };
+            let mut result = match inst.kind {
+                // A load's value is a pure function of its address
+                // (deterministic memory), so a warp-uniform address loads a
+                // warp-uniform value.
+                InstKind::Load(_) => {
+                    if args[0].is_uniform() { AbsVal::Uniform } else { AbsVal::Divergent }
+                }
+                _ => transfer(inst.op, &args),
+            };
+            if infl.iter().any(|&b| branch_divergent(b, &values)) {
+                // Written under a possibly partial mask: inactive lanes keep
+                // their old value, so the register may differ across lanes.
+                result = AbsVal::Divergent;
+            }
+            let slot = &mut values[dst.0 as usize];
+            let joined = slot.map_or(result, |old| old.join(result));
+            if *slot != Some(joined) {
+                *slot = Some(joined);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let reg_values: [AbsVal; NUM_REGS] =
+        std::array::from_fn(|r| values[r].unwrap_or(AbsVal::Const(0)));
+
+    let mut branch_uniform = vec![false; n];
+    let mut mem: Vec<Option<MemAccess>> = vec![None; n];
+    let mut diagnostics = Vec::new();
+    for pc in 0..n {
+        let inst = &kernel.insts[pc];
+        if inst.kind == InstKind::Branch {
+            if inst.cond == BranchCond::Always {
+                branch_uniform[pc] = true;
+            } else {
+                let uniform = cfg.reachable[pc]
+                    && operand_val(inst.srcs[0], &values)
+                        .is_some_and(AbsVal::is_uniform);
+                branch_uniform[pc] = uniform;
+                if cfg.reachable[pc] && !uniform {
+                    diagnostics.push(Diagnostic::at(
+                        Severity::Info,
+                        "divergent-branch",
+                        pc as u32,
+                        "branch condition is lane-dependent; the warp may diverge here",
+                    ));
+                }
+            }
+        }
+        if inst.kind.is_global_mem() && cfg.reachable[pc] {
+            let addr = operand_val(inst.srcs[0], &values).unwrap_or(AbsVal::Const(0));
+            let access = classify(addr);
+            if access.class == CoalesceClass::Scattered {
+                diagnostics.push(Diagnostic::at(
+                    Severity::Info,
+                    "scattered-access",
+                    pc as u32,
+                    "address has no cross-lane affine structure; up to 32 requests per warp",
+                ));
+            }
+            mem[pc] = Some(access);
+        }
+    }
+
+    Divergence { reg_values, branch_uniform, mem, diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpumech_isa::{AddrPattern, KernelBuilder};
+
+    fn analyze(kernel: &Kernel) -> Divergence {
+        let cfg = Cfg::build(kernel);
+        let df = crate::dataflow::run(kernel, &cfg);
+        run(kernel, &cfg, df.written, df.maybe_uninit_reads)
+    }
+
+    #[test]
+    fn join_laws() {
+        use AbsVal::{Affine, Const, Divergent, Uniform};
+        assert_eq!(Const(3).join(Const(3)), Const(3));
+        assert_eq!(Const(3).join(Const(4)), Uniform);
+        assert_eq!(Uniform.join(Const(4)), Uniform);
+        assert_eq!(Affine(4).join(Affine(4)), Affine(4));
+        assert_eq!(Affine(4).join(Affine(8)), Divergent);
+        assert_eq!(Affine(4).join(Uniform), Divergent);
+        assert_eq!(Divergent.join(Const(0)), Divergent);
+    }
+
+    #[test]
+    fn coalesced_pattern_is_affine() {
+        let mut b = KernelBuilder::new("k");
+        let v = b.load_pattern(AddrPattern::Coalesced { base: 1 << 32, elem_bytes: 4 });
+        b.store_pattern(AddrPattern::Coalesced { base: 2 << 32, elem_bytes: 4 }, Operand::Reg(v));
+        let k = b.finish(vec![]);
+        let d = analyze(&k);
+        let accesses: Vec<MemAccess> = d.mem.iter().flatten().copied().collect();
+        assert_eq!(accesses.len(), 2);
+        for a in accesses {
+            assert_eq!(a.class, CoalesceClass::Coalesced);
+            assert!(a.max_requests <= 3, "4-byte stride spans ≤ 2 lines, bound {}", a.max_requests);
+        }
+    }
+
+    #[test]
+    fn strided_and_random_patterns_classify() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.load_pattern(AddrPattern::Strided { base: 0, stride_bytes: 256 });
+        let _ = b.load_pattern(AddrPattern::Random { base: 0, region_bytes: 1 << 20, salt: 7 });
+        let _ = b.load_pattern(AddrPattern::Broadcast { addr: 64 });
+        let k = b.finish(vec![]);
+        let d = analyze(&k);
+        let accesses: Vec<MemAccess> = d.mem.iter().flatten().copied().collect();
+        assert_eq!(accesses[0].class, CoalesceClass::Strided(256));
+        assert_eq!(accesses[0].max_requests, 32);
+        assert_eq!(accesses[1].class, CoalesceClass::Scattered);
+        assert_eq!(accesses[2].class, CoalesceClass::Broadcast);
+        assert_eq!(accesses[2].max_requests, 1);
+    }
+
+    #[test]
+    fn uniform_loop_branch_is_uniform() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.alu(ValueOp::Mov, &[Operand::Imm(0)]);
+        b.loop_begin();
+        b.alu_into(i, ValueOp::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Reg(i), Operand::Imm(10)]);
+        b.loop_end_while(Operand::Reg(c));
+        let k = b.finish(vec![]);
+        let d = analyze(&k);
+        let branch_pc = k.insts.iter().position(|i| i.kind == InstKind::Branch).unwrap();
+        assert!(d.branch_uniform[branch_pc]);
+        assert!(!d.diagnostics.iter().any(|dg| dg.code == "divergent-branch"));
+    }
+
+    #[test]
+    fn lane_dependent_branch_is_divergent_and_taints_region() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(16)]);
+        let x = b.alu(ValueOp::Mov, &[Operand::Imm(5)]);
+        b.if_begin(Operand::Reg(c));
+        b.alu_into(x, ValueOp::Mov, &[Operand::Imm(9)]);
+        b.if_end();
+        // x is 9 in lanes 0..16 and 5 elsewhere: divergent after reconv.
+        b.store_pattern(AddrPattern::Coalesced { base: 0, elem_bytes: 4 }, Operand::Reg(x));
+        let k = b.finish(vec![]);
+        let d = analyze(&k);
+        let branch_pc = k.insts.iter().position(|i| i.kind == InstKind::Branch).unwrap();
+        assert!(!d.branch_uniform[branch_pc]);
+        assert_eq!(d.reg_values[x.0 as usize], AbsVal::Divergent);
+    }
+
+    #[test]
+    fn uniform_load_value_is_uniform() {
+        let mut b = KernelBuilder::new("k");
+        let v = b.load(gpumech_isa::MemSpace::Global, Operand::Imm(256));
+        let c = b.alu(ValueOp::CmpNe, &[Operand::Reg(v), Operand::Imm(0)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Reg(v), Operand::Imm(1)]);
+        b.if_end();
+        let k = b.finish(vec![]);
+        let d = analyze(&k);
+        assert_eq!(d.reg_values[v.0 as usize], AbsVal::Uniform);
+        let branch_pc = k.insts.iter().position(|i| i.kind == InstKind::Branch).unwrap();
+        assert!(d.branch_uniform[branch_pc], "branch on a broadcast-loaded value is uniform");
+    }
+
+    #[test]
+    fn negative_stride_counts_as_coalesced() {
+        // addr = base - 4·lane, built as Sub(base, 4·lane).
+        let mut b = KernelBuilder::new("k");
+        let off = b.alu(ValueOp::Mul, &[Operand::Lane, Operand::Imm(4)]);
+        let addr = b.alu(ValueOp::Sub, &[Operand::Imm(1 << 20), Operand::Reg(off)]);
+        let _ = b.load(gpumech_isa::MemSpace::Global, Operand::Reg(addr));
+        let k = b.finish(vec![]);
+        let d = analyze(&k);
+        let access = d.mem.iter().flatten().next().copied().unwrap();
+        assert_eq!(access.class, CoalesceClass::Coalesced);
+    }
+}

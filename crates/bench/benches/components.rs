@@ -1,50 +1,49 @@
-//! Criterion micro-benchmarks of the pipeline components (Section VI-D's
-//! cost breakdown): trace generation, functional cache simulation, the
-//! interval algorithm, warp clustering, and the analytical models.
+//! Micro-benchmarks of the pipeline components (Section VI-D's cost
+//! breakdown): static analysis, trace generation (with and without the
+//! analysis-guided uniform-branch fast path), functional cache simulation,
+//! the interval algorithm, warp clustering, and the analytical models.
+//!
+//! Run with `cargo bench --bench components` (plain wall-clock timing; see
+//! [`gpumech_bench::bench_wall`]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use gpumech_core::{
-    build_profile, multithreading_cpi, select_representative, SelectionMethod,
-};
+use gpumech_bench::bench_wall;
+use gpumech_core::{build_profile, multithreading_cpi, select_representative, SelectionMethod};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_mem::simulate_hierarchy;
-use gpumech_trace::workloads;
+use gpumech_trace::{trace_kernel_opts, workloads, TraceOptions};
 
-fn benches(c: &mut Criterion) {
+fn main() {
     let w = workloads::by_name("cfd_compute_flux").expect("bundled").with_blocks(32);
     let cfg = SimConfig::table1();
     let trace = w.trace().expect("trace");
     let mem = simulate_hierarchy(&trace, &cfg);
-    let profiles: Vec<_> =
-        trace.warps.iter().map(|wt| build_profile(wt, &cfg, &mem)).collect();
+    let profiles: Vec<_> = trace.warps.iter().map(|wt| build_profile(wt, &cfg, &mem)).collect();
 
-    let mut group = c.benchmark_group("components");
-    group.sample_size(10);
-    group.bench_function("trace_generation", |b| b.iter(|| w.trace().expect("trace")));
-    group.bench_function("cache_simulation", |b| {
-        b.iter(|| simulate_hierarchy(&trace, &cfg));
+    println!("components ({}, {} blocks)", w.name, 32);
+    bench_wall("static_analysis", 100, || gpumech_analyze::analyze(&w.kernel));
+    let fast = bench_wall("trace_generation", 50, || w.trace().expect("trace"));
+    let slow = bench_wall("trace_generation_no_fast_path", 50, || {
+        trace_kernel_opts(
+            &w.kernel,
+            w.launch,
+            TraceOptions { uniform_branch_fast_path: false },
+        )
+        .expect("trace")
     });
-    group.bench_function("interval_algorithm_all_warps", |b| {
-        b.iter(|| {
-            trace
-                .warps
-                .iter()
-                .map(|wt| build_profile(wt, &cfg, &mem))
-                .collect::<Vec<_>>()
-        });
+    println!(
+        "  -> uniform-branch fast path: {:+.1}% wall time",
+        100.0 * (fast.as_secs_f64() / slow.as_secs_f64() - 1.0)
+    );
+    bench_wall("cache_simulation", 10, || simulate_hierarchy(&trace, &cfg));
+    bench_wall("interval_algorithm_all_warps", 10, || {
+        trace.warps.iter().map(|wt| build_profile(wt, &cfg, &mem)).collect::<Vec<_>>()
     });
-    group.bench_function("interval_algorithm_one_warp", |b| {
-        b.iter(|| build_profile(&trace.warps[0], &cfg, &mem));
-    });
-    group.bench_function("kmeans_clustering", |b| {
-        b.iter(|| select_representative(&profiles, SelectionMethod::Clustering));
+    bench_wall("interval_algorithm_one_warp", 100, || build_profile(&trace.warps[0], &cfg, &mem));
+    bench_wall("kmeans_clustering", 10, || {
+        select_representative(&profiles, SelectionMethod::Clustering)
     });
     let rep = select_representative(&profiles, SelectionMethod::Clustering);
-    group.bench_function("multiwarp_model", |b| {
-        b.iter(|| multithreading_cpi(&profiles[rep], 32, SchedulingPolicy::RoundRobin));
+    bench_wall("multiwarp_model", 100, || {
+        multithreading_cpi(&profiles[rep], 32, SchedulingPolicy::RoundRobin)
     });
-    group.finish();
 }
-
-criterion_group!(components, benches);
-criterion_main!(components);

@@ -1,8 +1,10 @@
-//! Criterion benchmark for Section VI-D: GPUMech model time versus the
-//! cycle-level oracle, on a small representative grid (Criterion runs each
-//! benchmark many times, so the grid is kept modest).
+//! Section VI-D: GPUMech model time versus the cycle-level oracle, on a
+//! small representative grid.
+//!
+//! Run with `cargo bench --bench speedup` (plain wall-clock timing; see
+//! [`gpumech_bench::bench_wall`]).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gpumech_bench::bench_wall;
 use gpumech_core::{Gpumech, Model, SelectionMethod};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_timing::simulate;
@@ -10,39 +12,32 @@ use gpumech_trace::workloads;
 
 const BLOCKS: usize = 32;
 
-fn bench_kernel(c: &mut Criterion, name: &str) {
+fn bench_kernel(name: &str) {
     let w = workloads::by_name(name).expect("bundled workload").with_blocks(BLOCKS);
     let trace = w.trace().expect("trace");
     let cfg = SimConfig::table1();
     let model = Gpumech::new(cfg.clone());
 
-    let mut group = c.benchmark_group(format!("speedup/{name}"));
-    group.sample_size(10);
-    group.bench_function("oracle_timing_sim", |b| {
-        b.iter(|| simulate(&trace, &cfg, SchedulingPolicy::RoundRobin).expect("sim"));
+    println!("speedup/{name} ({BLOCKS} blocks)");
+    let oracle = bench_wall("oracle_timing_sim", 5, || {
+        simulate(&trace, &cfg, SchedulingPolicy::RoundRobin).expect("sim")
     });
-    group.bench_function("gpumech_analysis", |b| {
-        b.iter(|| model.analyze(&trace).expect("analysis"));
-    });
+    let analysis_t = bench_wall("gpumech_analysis", 5, || model.analyze(&trace).expect("analysis"));
     let analysis = model.analyze(&trace).expect("analysis");
-    group.bench_function("gpumech_predict", |b| {
-        b.iter(|| {
-            model.predict_from_analysis(
-                &analysis,
-                SchedulingPolicy::RoundRobin,
-                Model::MtMshrBand,
-                SelectionMethod::Clustering,
-            )
-        });
+    let predict_t = bench_wall("gpumech_predict", 20, || {
+        model.predict_from_analysis(
+            &analysis,
+            SchedulingPolicy::RoundRobin,
+            Model::MtMshrBand,
+            SelectionMethod::Clustering,
+        )
     });
-    group.finish();
+    let speedup = oracle.as_secs_f64() / (analysis_t + predict_t).as_secs_f64();
+    println!("  -> model speedup over oracle: {speedup:.1}x");
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
     for name in ["cfd_step_factor", "cfd_compute_flux", "kmeans_invert_mapping"] {
-        bench_kernel(c, name);
+        bench_kernel(name);
     }
 }
-
-criterion_group!(speedup, benches);
-criterion_main!(speedup);

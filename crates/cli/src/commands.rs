@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use gpumech_analyze::{analyze, KernelAnalysis, Severity};
 use gpumech_core::{
     summarize_population, Gpumech, Model, Prediction, SchedulingPolicy, SelectionMethod,
     StallCategory,
@@ -36,6 +37,15 @@ pub enum CliError {
     Model(String),
     /// Writing an output file failed.
     Io(std::io::Error),
+    /// `lint` found error-severity diagnostics. The report still carries
+    /// the full rendered output so `main` can print it before exiting
+    /// nonzero.
+    LintFailed {
+        /// Rendered lint report (same text a clean run would print).
+        report: String,
+        /// Number of error-severity findings.
+        errors: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -51,6 +61,9 @@ impl fmt::Display for CliError {
             }
             CliError::Model(e) => write!(f, "modeling failed: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::LintFailed { errors, .. } => {
+                write!(f, "lint found {errors} error-severity finding(s)")
+            }
         }
     }
 }
@@ -159,6 +172,7 @@ where
         "intervals" => {
             cmd_intervals(&Args::parse(rest, &["blocks", "warps", "mshrs", "bw", "sfu", "limit"])?)
         }
+        "lint" => cmd_lint(&Args::parse(rest, &["format", "min-severity"])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -448,6 +462,91 @@ fn cmd_intervals(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_lint(args: &Args) -> Result<String, CliError> {
+    let target = args.positional(0).unwrap_or("all");
+    let min = match args.flag("min-severity").unwrap_or("info") {
+        "info" => Severity::Info,
+        "warning" => Severity::Warning,
+        "error" => Severity::Error,
+        other => {
+            return Err(CliError::BadChoice {
+                flag: "min-severity",
+                value: other.to_string(),
+                expected: "info|warning|error",
+            })
+        }
+    };
+    let selected: Vec<Workload> = if target == "all" {
+        workloads::all()
+    } else {
+        vec![workloads::by_name(target)
+            .ok_or_else(|| CliError::UnknownKernel(target.to_string()))?]
+    };
+
+    let analyses: Vec<(String, KernelAnalysis)> =
+        selected.iter().map(|w| (w.name.clone(), analyze(&w.kernel))).collect();
+    let count = |sev| {
+        analyses
+            .iter()
+            .flat_map(|(_, a)| &a.diagnostics)
+            .filter(|d| d.severity == sev)
+            .count()
+    };
+    let (errors, warnings, infos) =
+        (count(Severity::Error), count(Severity::Warning), count(Severity::Info));
+
+    let report = match args.flag("format").unwrap_or("text") {
+        "json" => {
+            let objs: Vec<&KernelAnalysis> = analyses.iter().map(|(_, a)| a).collect();
+            let mut s =
+                serde_json::to_string_pretty(&objs).map_err(|e| CliError::Model(e.to_string()))?;
+            s.push('\n');
+            s
+        }
+        "text" => {
+            let mut out = String::new();
+            for (name, a) in &analyses {
+                let m = &a.metrics;
+                out.push_str(&format!(
+                    "{:<28}{:<9}{:>6} insts  {:>2}/{:<2} branches divergent  \
+                     mem b/c/s/x {}/{}/{}/{}\n",
+                    name,
+                    a.max_severity().map_or("clean".to_string(), |s| s.to_string()),
+                    m.insts,
+                    m.divergent_branches,
+                    m.branches,
+                    m.broadcast_accesses,
+                    m.coalesced_accesses,
+                    m.strided_accesses,
+                    m.scattered_accesses,
+                ));
+                for d in a.diagnostics_at_least(min) {
+                    out.push_str(&format!("    {d}\n"));
+                }
+            }
+            out.push_str(&format!(
+                "\nlinted {} kernel(s): {errors} error(s), {warnings} warning(s), \
+                 {infos} info(s)\n",
+                analyses.len()
+            ));
+            out
+        }
+        other => {
+            return Err(CliError::BadChoice {
+                flag: "format",
+                value: other.to_string(),
+                expected: "text|json",
+            })
+        }
+    };
+
+    if errors > 0 {
+        Err(CliError::LintFailed { report, errors })
+    } else {
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +647,40 @@ mod tests {
         assert!(out.contains("representative warp"));
         assert!(out.contains("load@pc") || out.contains("compute"));
         assert!(out.contains("more (use --limit)"));
+    }
+
+    #[test]
+    fn lint_all_is_clean_over_the_workload_library() {
+        let out = run_ok(&["lint"]);
+        assert!(out.contains("linted 40 kernel(s): 0 error(s)"), "{out}");
+        assert!(out.contains("kmeans_invert_mapping"));
+    }
+
+    #[test]
+    fn lint_single_kernel_shows_divergence_findings() {
+        let out = run_ok(&["lint", "bfs_kernel1", "--min-severity", "info"]);
+        assert!(out.contains("linted 1 kernel(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_round_trips() {
+        let out = run_ok(&["lint", "sdk_vectoradd", "--format", "json"]);
+        let parsed: Vec<KernelAnalysis> = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed[0].has_errors());
+    }
+
+    #[test]
+    fn lint_rejects_bad_flag_values() {
+        assert!(matches!(
+            run_err(&["lint", "--format", "xml"]),
+            CliError::BadChoice { flag: "format", .. }
+        ));
+        assert!(matches!(
+            run_err(&["lint", "--min-severity", "fatal"]),
+            CliError::BadChoice { flag: "min-severity", .. }
+        ));
+        assert!(matches!(run_err(&["lint", "nope"]), CliError::UnknownKernel(_)));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * `predict <kernel>` — GPUMech prediction with a CPI-stack bar,
 //! * `simulate <kernel>` — cycle-level oracle run,
 //! * `compare <kernel>` — all five Table II models vs the oracle,
-//! * `stacks <kernel>` — CPI stacks across warp counts.
+//! * `stacks <kernel>` — CPI stacks across warp counts,
+//! * `lint [kernel|all]` — static analysis of the kernel IR
+//!   (reconvergence correctness, dataflow, divergence, coalescing).
 
 pub mod args;
 pub mod commands;
@@ -37,6 +39,7 @@ COMMANDS:
     stacks <kernel>              CPI stacks across warp counts
     profile <kernel>             interval-profile and warp-population statistics
     intervals <kernel>           dump the representative warp's intervals (--limit N)
+    lint [kernel|all]            statically analyze kernel IR (default: all 40)
     help                         this text
 
 COMMON FLAGS:
@@ -53,4 +56,10 @@ PREDICT FLAGS:
 
 TRACE FLAGS:
     --json PATH       write the full trace as JSON
+
+LINT FLAGS:
+    --format F        text|json (default text)
+    --min-severity S  info|warning|error (default info); exit is nonzero
+                      whenever any error-severity finding exists,
+                      regardless of this display filter
 ";

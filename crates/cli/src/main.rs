@@ -2,11 +2,20 @@
 
 use std::process::ExitCode;
 
+use gpumech_cli::CliError;
+
 fn main() -> ExitCode {
     match gpumech_cli::run(std::env::args().skip(1)) {
         Ok(text) => {
             print!("{text}");
             ExitCode::SUCCESS
+        }
+        // Lint failures still print the full report (to stdout, like a
+        // successful run) before signalling failure via the exit code.
+        Err(CliError::LintFailed { report, errors }) => {
+            print!("{report}");
+            eprintln!("error: lint found {errors} error-severity finding(s)");
+            ExitCode::FAILURE
         }
         Err(e) => {
             eprintln!("error: {e}");

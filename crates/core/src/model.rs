@@ -501,8 +501,7 @@ mod tests {
 
     #[test]
     fn invalid_config_is_reported() {
-        let mut cfg = SimConfig::default();
-        cfg.num_mshrs = 0;
+        let cfg = SimConfig { num_mshrs: 0, ..SimConfig::default() };
         let t = trace_of("sdk_vectoradd", 2);
         assert!(matches!(
             Gpumech::new(cfg).analyze(&t),

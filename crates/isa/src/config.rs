@@ -399,8 +399,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut cfg = SimConfig::default();
-        cfg.num_cores = 0;
+        let cfg = SimConfig { num_cores: 0, ..SimConfig::default() };
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroField("num_cores")));
 
         let mut cfg = SimConfig::default();
@@ -414,8 +413,7 @@ mod tests {
             Err(ConfigError::CacheGeometry("L2") | ConfigError::LineSizeMismatch)
         ));
 
-        let mut cfg = SimConfig::default();
-        cfg.simt_width = 16;
+        let cfg = SimConfig { simt_width: 16, ..SimConfig::default() };
         assert_eq!(cfg.validate(), Err(ConfigError::SimtWidth));
     }
 

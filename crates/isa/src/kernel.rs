@@ -158,20 +158,47 @@ impl StaticInst {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelError {
     /// A branch target or reconvergence PC is out of range.
-    BadTarget { pc: u32 },
+    BadTarget {
+        /// PC of the offending branch.
+        pc: u32,
+    },
     /// A conditional branch lacks a reconvergence PC.
-    MissingReconv { pc: u32 },
+    MissingReconv {
+        /// PC of the offending branch.
+        pc: u32,
+    },
+    /// A conditional branch's reconvergence PC does not lie after the
+    /// branch. The SIMT stack pops a path when execution *reaches* the
+    /// reconvergence PC, so a reconvergence point at or before the branch
+    /// can never re-merge the paths the branch split.
+    ReconvBeforeBranch {
+        /// PC of the offending branch.
+        pc: u32,
+        /// The stored (invalid) reconvergence PC.
+        reconv: u32,
+    },
     /// An operand references a parameter index not present in `params`.
-    BadParam { pc: u32, index: u16 },
+    BadParam {
+        /// PC of the referencing instruction.
+        pc: u32,
+        /// The out-of-range parameter index.
+        index: u16,
+    },
     /// The kernel does not end with `Exit`.
     MissingExit,
     /// A register index is out of range.
-    BadReg { pc: u32 },
+    BadReg {
+        /// PC of the offending instruction.
+        pc: u32,
+    },
     /// An unclosed `if`/`loop` scope was left open at `finish` time
     /// (reported by the builder).
     UnclosedScope,
     /// A memory instruction is missing its address operand.
-    MissingAddress { pc: u32 },
+    MissingAddress {
+        /// PC of the offending instruction.
+        pc: u32,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -181,6 +208,11 @@ impl fmt::Display for KernelError {
             KernelError::MissingReconv { pc } => {
                 write!(f, "conditional branch at pc {pc} has no reconvergence point")
             }
+            KernelError::ReconvBeforeBranch { pc, reconv } => write!(
+                f,
+                "conditional branch at pc {pc} reconverges at pc {reconv}, \
+                 which is not after the branch"
+            ),
             KernelError::BadParam { pc, index } => {
                 write!(f, "instruction at pc {pc} references missing parameter {index}")
             }
@@ -225,9 +257,14 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns the first [`KernelError`] found: out-of-range branch targets
-    /// or registers, conditional branches without reconvergence PCs, missing
-    /// parameters, memory instructions without addresses, or a missing
-    /// trailing `Exit`.
+    /// or registers, conditional branches without reconvergence PCs (or with
+    /// reconvergence PCs not strictly after the branch), missing parameters,
+    /// memory instructions without addresses, or a missing trailing `Exit`.
+    ///
+    /// This is *basic* well-formedness only; `gpumech-analyze` performs the
+    /// deeper structural checks (true post-dominator reconvergence,
+    /// reducibility, initialization) and is run by the tracer's pre-trace
+    /// hook.
     pub fn validate(&self) -> Result<(), KernelError> {
         let n = self.insts.len() as u32;
         if self.insts.last().map(|i| i.kind) != Some(InstKind::Exit) {
@@ -249,8 +286,14 @@ impl Kernel {
                 if inst.target.is_none() {
                     return Err(KernelError::BadTarget { pc });
                 }
-                if inst.cond != BranchCond::Always && inst.reconv.is_none() {
-                    return Err(KernelError::MissingReconv { pc });
+                if inst.cond != BranchCond::Always {
+                    match inst.reconv {
+                        None => return Err(KernelError::MissingReconv { pc }),
+                        Some(r) if r <= pc => {
+                            return Err(KernelError::ReconvBeforeBranch { pc, reconv: r });
+                        }
+                        Some(_) => {}
+                    }
                 }
             }
             if inst.kind.is_mem() && inst.srcs.is_empty() {
@@ -758,6 +801,94 @@ mod tests {
         let mut k = b.finish(vec![]);
         k.insts[0].srcs = vec![Operand::Param(5)];
         assert_eq!(k.validate(), Err(KernelError::BadParam { pc: 0, index: 5 }));
+    }
+
+    /// A minimal valid if-kernel whose branch sits at pc 1.
+    fn branchy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(4)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.if_end();
+        b.finish(vec![])
+    }
+
+    #[test]
+    fn validate_catches_reconv_out_of_range() {
+        let mut k = branchy_kernel();
+        k.insts[1].reconv = Some(99);
+        assert_eq!(k.validate(), Err(KernelError::BadTarget { pc: 1 }));
+    }
+
+    #[test]
+    fn validate_catches_branch_without_target() {
+        let mut k = branchy_kernel();
+        k.insts[1].target = None;
+        assert_eq!(k.validate(), Err(KernelError::BadTarget { pc: 1 }));
+    }
+
+    #[test]
+    fn validate_catches_missing_reconvergence() {
+        let mut k = branchy_kernel();
+        k.insts[1].reconv = None;
+        assert_eq!(k.validate(), Err(KernelError::MissingReconv { pc: 1 }));
+    }
+
+    #[test]
+    fn validate_catches_reconvergence_before_branch() {
+        let mut k = branchy_kernel();
+        // In range, but at the branch itself: can never re-merge the split.
+        k.insts[1].reconv = Some(1);
+        assert_eq!(k.validate(), Err(KernelError::ReconvBeforeBranch { pc: 1, reconv: 1 }));
+        k.insts[1].reconv = Some(0);
+        assert_eq!(k.validate(), Err(KernelError::ReconvBeforeBranch { pc: 1, reconv: 0 }));
+    }
+
+    #[test]
+    fn validate_allows_reconvergence_right_after_branch() {
+        let mut k = branchy_kernel();
+        k.insts[1].target = Some(2);
+        k.insts[1].reconv = Some(2);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_registers() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        let mut k = b.finish(vec![]);
+        k.insts[0].dst = Some(Reg(NUM_REGS as u8));
+        assert_eq!(k.validate(), Err(KernelError::BadReg { pc: 0 }));
+        k.insts[0].dst = Some(Reg(0));
+        k.insts[0].srcs = vec![Operand::Reg(Reg(200))];
+        assert_eq!(k.validate(), Err(KernelError::BadReg { pc: 0 }));
+    }
+
+    #[test]
+    fn validate_catches_memory_instruction_without_address() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.load(MemSpace::Global, Operand::Imm(64));
+        let mut k = b.finish(vec![]);
+        k.insts[0].srcs.clear();
+        assert_eq!(k.validate(), Err(KernelError::MissingAddress { pc: 0 }));
+    }
+
+    #[test]
+    fn kernel_errors_display_their_context() {
+        let cases: Vec<(KernelError, &str)> = vec![
+            (KernelError::BadTarget { pc: 3 }, "pc 3"),
+            (KernelError::MissingReconv { pc: 4 }, "pc 4"),
+            (KernelError::ReconvBeforeBranch { pc: 5, reconv: 2 }, "pc 2"),
+            (KernelError::BadParam { pc: 6, index: 1 }, "parameter 1"),
+            (KernelError::MissingExit, "exit"),
+            (KernelError::BadReg { pc: 7 }, "pc 7"),
+            (KernelError::UnclosedScope, "unclosed"),
+            (KernelError::MissingAddress { pc: 8 }, "pc 8"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+        }
     }
 
     #[test]

@@ -11,7 +11,18 @@
 //! The engine tracks a *warp-level* register scoreboard (last writer per
 //! register), exactly like real hardware: a register write by any lane makes
 //! the whole warp's later readers depend on that instruction.
+//!
+//! Before tracing, every kernel passes through the `gpumech-analyze`
+//! pre-trace hook: kernels with Error-severity findings (mis-placed
+//! reconvergence points, reads of never-written registers, irreducible
+//! control flow) are rejected with [`TraceError::RejectedByAnalysis`], and
+//! branches the analyzer proves warp-uniform take a fast path that
+//! evaluates the condition once per warp instead of once per lane and never
+//! touches the reconvergence stack. Debug builds cross-check every static
+//! fact against observed execution (`debug_assert!`), so the fast path is
+//! byte-identical to the per-lane path — see `tests/golden_workloads.rs`.
 
+use gpumech_analyze::KernelAnalysis;
 use gpumech_isa::{
     kernel::{BranchCond, KernelError, NUM_REGS},
     InstKind, Kernel, Operand, Reg, ValueOp, WarpId, WARP_SIZE,
@@ -34,6 +45,13 @@ const MEMORY_SEED: u64 = 0x5_EED0_F6DE_C0DE;
 pub enum TraceError {
     /// The kernel failed structural validation.
     InvalidKernel(KernelError),
+    /// The static analyzer found Error-severity defects (pre-trace hook).
+    RejectedByAnalysis {
+        /// Name of the rejected kernel.
+        kernel: String,
+        /// Rendered Error-severity diagnostics, in severity order.
+        findings: Vec<String>,
+    },
     /// A warp exceeded [`MAX_DYN_INSTS_PER_WARP`] — the kernel does not
     /// terminate for this input.
     InstLimit {
@@ -46,6 +64,15 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            TraceError::RejectedByAnalysis { kernel, findings } => {
+                write!(
+                    f,
+                    "kernel '{kernel}' rejected by static analysis ({} finding{}): {}",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                    findings.first().map_or("", String::as_str)
+                )
+            }
             TraceError::InstLimit { warp } => {
                 write!(f, "warp {warp} exceeded {MAX_DYN_INSTS_PER_WARP} dynamic instructions")
             }
@@ -57,7 +84,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::InvalidKernel(e) => Some(e),
-            TraceError::InstLimit { .. } => None,
+            TraceError::RejectedByAnalysis { .. } | TraceError::InstLimit { .. } => None,
         }
     }
 }
@@ -71,6 +98,29 @@ impl From<KernelError> for TraceError {
 const FULL_MASK: u32 = u32::MAX;
 const NO_RECONV: u32 = u32::MAX;
 
+/// Cache-line granularity the coalescing cross-checks assume; must match
+/// the 128-byte line the analyzer's `max_requests` bound is stated over.
+#[cfg(debug_assertions)]
+const LINE_SHIFT: u32 = 7;
+
+/// Options controlling trace generation. The default enables every
+/// analysis-guided optimization; disabling them forces the conservative
+/// per-lane path (useful for A/B-testing that both produce identical
+/// traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Evaluate statically warp-uniform branch conditions once per warp
+    /// (first active lane) instead of once per lane, skipping the
+    /// reconvergence-stack bookkeeping such branches can never need.
+    pub uniform_branch_fast_path: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { uniform_branch_fast_path: true }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Frame {
     pc: u32,
@@ -80,6 +130,8 @@ struct Frame {
 
 struct WarpMachine<'k> {
     kernel: &'k Kernel,
+    analysis: &'k KernelAnalysis,
+    opts: TraceOptions,
     launch: LaunchConfig,
     warp: WarpId,
     /// `regs[reg][lane]`.
@@ -89,9 +141,17 @@ struct WarpMachine<'k> {
 }
 
 impl<'k> WarpMachine<'k> {
-    fn new(kernel: &'k Kernel, launch: LaunchConfig, warp: WarpId) -> Self {
+    fn new(
+        kernel: &'k Kernel,
+        analysis: &'k KernelAnalysis,
+        opts: TraceOptions,
+        launch: LaunchConfig,
+        warp: WarpId,
+    ) -> Self {
         Self {
             kernel,
+            analysis,
+            opts,
             launch,
             warp,
             regs: vec![[0u64; WARP_SIZE]; NUM_REGS],
@@ -154,6 +214,26 @@ impl<'k> WarpMachine<'k> {
         deps
     }
 
+    /// Per-lane evaluation of a conditional branch: the mask of active
+    /// lanes that jump to the target.
+    fn taken_mask(&self, inst: &gpumech_isa::StaticInst, mask: u32) -> u32 {
+        let mut t = 0u32;
+        for lane in 0..WARP_SIZE {
+            if mask & (1 << lane) != 0 {
+                let c = self.operand(inst.srcs[0], lane);
+                let jumps = match inst.cond {
+                    BranchCond::IfZero => c == 0,
+                    BranchCond::IfNonZero => c != 0,
+                    BranchCond::Always => unreachable!("taken_mask is for conditional branches"),
+                };
+                if jumps {
+                    t |= 1 << lane;
+                }
+            }
+        }
+        t
+    }
+
     fn run(mut self) -> Result<WarpTrace, TraceError> {
         let mut insts: Vec<TraceInst> = Vec::new();
 
@@ -179,6 +259,19 @@ impl<'k> WarpMachine<'k> {
                         addrs.push(self.operand(inst.srcs[0], lane));
                     }
                 }
+                // Cross-check: the observed line count must respect the
+                // analyzer's per-warp coalescing bound.
+                #[cfg(debug_assertions)]
+                if let Some(Some(access)) = self.analysis.coalescing.get(top.pc as usize) {
+                    let lines = distinct_lines(&addrs);
+                    debug_assert!(
+                        lines <= access.max_requests,
+                        "pc {}: warp touched {lines} lines, static bound is {} ({:?})",
+                        top.pc,
+                        access.max_requests,
+                        access.class,
+                    );
+                }
             }
             insts.push(TraceInst {
                 pc: top.pc,
@@ -192,22 +285,33 @@ impl<'k> WarpMachine<'k> {
                 InstKind::Branch => {
                     let taken = match inst.cond {
                         BranchCond::Always => mask,
-                        BranchCond::IfZero | BranchCond::IfNonZero => {
-                            let mut t = 0u32;
-                            for lane in 0..WARP_SIZE {
-                                if mask & (1 << lane) != 0 {
-                                    let c = self.operand(inst.srcs[0], lane);
-                                    let jumps = match inst.cond {
-                                        BranchCond::IfZero => c == 0,
-                                        BranchCond::IfNonZero => c != 0,
-                                        BranchCond::Always => unreachable!(),
-                                    };
-                                    if jumps {
-                                        t |= 1 << lane;
-                                    }
-                                }
-                            }
+                        BranchCond::IfZero | BranchCond::IfNonZero
+                            if self.opts.uniform_branch_fast_path
+                                && self.analysis.is_branch_uniform(top.pc) =>
+                        {
+                            // Statically warp-uniform condition: every
+                            // active lane agrees, so evaluate it once on the
+                            // first active lane. Either all active lanes
+                            // jump or none do — the reconvergence stack is
+                            // never touched.
+                            let lane = mask.trailing_zeros() as usize;
+                            let c = self.operand(inst.srcs[0], lane);
+                            let jumps = match inst.cond {
+                                BranchCond::IfZero => c == 0,
+                                BranchCond::IfNonZero => c != 0,
+                                BranchCond::Always => unreachable!(),
+                            };
+                            let t = if jumps { mask } else { 0 };
+                            debug_assert_eq!(
+                                t,
+                                self.taken_mask(inst, mask),
+                                "pc {}: statically uniform branch observed divergent",
+                                top.pc,
+                            );
                             t
+                        }
+                        BranchCond::IfZero | BranchCond::IfNonZero => {
+                            self.taken_mask(inst, mask)
                         }
                     };
                     let fall = mask & !taken;
@@ -269,34 +373,79 @@ impl<'k> WarpMachine<'k> {
     }
 }
 
+#[cfg(debug_assertions)]
+fn distinct_lines(addrs: &[u64]) -> u32 {
+    let mut lines: Vec<u64> = addrs.iter().map(|a| a >> LINE_SHIFT).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len() as u32
+}
+
+/// Runs the pre-trace static analysis hook, rejecting kernels with
+/// Error-severity findings.
+fn pre_trace_analysis(kernel: &Kernel) -> Result<KernelAnalysis, TraceError> {
+    // validate() first so callers keep getting the precise
+    // `TraceError::InvalidKernel(KernelError)` they always got for basic
+    // structural breakage; the analyzer then catches the deeper defects.
+    kernel.validate()?;
+    let analysis = gpumech_analyze::analyze(kernel);
+    if analysis.has_errors() {
+        return Err(TraceError::RejectedByAnalysis {
+            kernel: kernel.name.clone(),
+            findings: analysis
+                .diagnostics_at_least(gpumech_analyze::Severity::Error)
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+        });
+    }
+    Ok(analysis)
+}
+
 /// Functionally executes one warp and returns its dynamic trace.
 ///
 /// # Errors
 ///
-/// Returns [`TraceError::InvalidKernel`] if the kernel fails validation and
-/// [`TraceError::InstLimit`] if the warp does not terminate within
-/// [`MAX_DYN_INSTS_PER_WARP`] instructions.
+/// Returns [`TraceError::InvalidKernel`] if the kernel fails validation,
+/// [`TraceError::RejectedByAnalysis`] if the static analyzer finds
+/// Error-severity defects, and [`TraceError::InstLimit`] if the warp does
+/// not terminate within [`MAX_DYN_INSTS_PER_WARP`] instructions.
 pub fn trace_warp(
     kernel: &Kernel,
     launch: LaunchConfig,
     warp: WarpId,
 ) -> Result<WarpTrace, TraceError> {
-    kernel.validate()?;
-    WarpMachine::new(kernel, launch, warp).run()
+    let analysis = pre_trace_analysis(kernel)?;
+    WarpMachine::new(kernel, &analysis, TraceOptions::default(), launch, warp).run()
 }
 
 /// Functionally executes every warp of a launch and returns the full kernel
 /// trace. Warps are independent (no inter-thread communication in the IR),
-/// so this is simply [`trace_warp`] over the grid.
+/// so this is simply one warp machine per warp over the grid, sharing one
+/// static analysis.
 ///
 /// # Errors
 ///
 /// Propagates the first [`TraceError`] encountered.
 pub fn trace_kernel(kernel: &Kernel, launch: LaunchConfig) -> Result<KernelTrace, TraceError> {
-    kernel.validate()?;
+    trace_kernel_opts(kernel, launch, TraceOptions::default())
+}
+
+/// [`trace_kernel`] with explicit [`TraceOptions`] — used to A/B the
+/// analysis-guided fast paths against the conservative per-lane execution.
+///
+/// # Errors
+///
+/// Propagates the first [`TraceError`] encountered.
+pub fn trace_kernel_opts(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    opts: TraceOptions,
+) -> Result<KernelTrace, TraceError> {
+    let analysis = pre_trace_analysis(kernel)?;
     let warps = launch
         .warps()
-        .map(|w| WarpMachine::new(kernel, launch, w).run())
+        .map(|w| WarpMachine::new(kernel, &analysis, opts, launch, w).run())
         .collect::<Result<Vec<_>, _>>()?;
     Ok(KernelTrace { name: kernel.name.clone(), launch, warps })
 }
@@ -490,5 +639,43 @@ mod tests {
         assert_eq!(by_pc(4), Some(0xFF), "inner body: lanes 0..8");
         assert_eq!(by_pc(5), Some(0xFFFF), "outer body after inner merge: lanes 0..16");
         assert_eq!(by_pc(6), Some(u32::MAX), "full reconvergence");
+    }
+
+    #[test]
+    fn corrupted_reconvergence_pc_is_rejected_before_tracing() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(8)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.if_end();
+        let mut k = b.finish(vec![]);
+        let branch_pc =
+            k.insts.iter().position(|i| i.kind == InstKind::Branch).expect("has a branch");
+        // In range (passes validate) but not the true post-dominator.
+        k.insts[branch_pc].reconv = Some(branch_pc as u32 + 1);
+        assert!(k.validate().is_ok());
+        let err = trace_kernel(&k, launch1()).expect_err("analysis must reject");
+        match err {
+            TraceError::RejectedByAnalysis { kernel, findings } => {
+                assert_eq!(kernel, "k");
+                assert!(
+                    findings.iter().any(|f| f.contains("reconv-mismatch")),
+                    "findings: {findings:?}"
+                );
+            }
+            other => panic!("expected RejectedByAnalysis, got {other}"),
+        }
+    }
+
+    #[test]
+    fn read_before_write_is_rejected_before_tracing() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Reg(gpumech_isa::Reg(9)), Operand::Imm(1)]);
+        let k = b.finish(vec![]);
+        let err = trace_kernel(&k, launch1()).expect_err("analysis must reject");
+        assert!(
+            err.to_string().contains("read-before-write"),
+            "expected a read-before-write diagnostic, got: {err}"
+        );
     }
 }

@@ -37,7 +37,10 @@ pub mod launch;
 pub mod record;
 pub mod workloads;
 
-pub use engine::{trace_kernel, trace_warp, TraceError, MAX_DYN_INSTS_PER_WARP};
+pub use engine::{
+    trace_kernel, trace_kernel_opts, trace_warp, TraceError, TraceOptions,
+    MAX_DYN_INSTS_PER_WARP,
+};
 pub use launch::LaunchConfig;
 pub use record::{KernelTrace, TraceInst, WarpTrace};
 pub use workloads::{DivergenceClass, Suite, Workload};

@@ -20,6 +20,8 @@ use serde::{Deserialize, Serialize};
 use crate::engine::{trace_kernel, TraceError};
 use crate::launch::LaunchConfig;
 use crate::record::KernelTrace;
+#[cfg(test)]
+use crate::record::WarpTrace;
 
 /// Benchmark suite a workload's namesake belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -839,7 +841,7 @@ mod tests {
     fn bimodal_kernels_have_two_warp_populations() {
         let w = by_name("lud_diagonal").unwrap().with_blocks(4);
         let t = w.trace().unwrap();
-        let lens: Vec<usize> = t.warps.iter().map(|wt| wt.len()).collect();
+        let lens: Vec<usize> = t.warps.iter().map(WarpTrace::len).collect();
         let min = *lens.iter().min().unwrap();
         let max = *lens.iter().max().unwrap();
         // Two populations with moderately different lengths (real
@@ -853,7 +855,7 @@ mod tests {
     fn variable_trip_kernels_vary_across_warps() {
         let w = by_name("bfs_kernel1").unwrap().with_blocks(4);
         let t = w.trace().unwrap();
-        let lens: HashSet<usize> = t.warps.iter().map(|wt| wt.len()).collect();
+        let lens: HashSet<usize> = t.warps.iter().map(WarpTrace::len).collect();
         assert!(lens.len() >= 4, "expected varied warp lengths, got {lens:?}");
     }
 
@@ -914,7 +916,7 @@ mod tests {
     fn hot_load_workload_is_mostly_hot_with_rare_cold_excursions() {
         let w = by_name("kmeans_invert_mapping").unwrap().with_blocks(4);
         let t = w.trace().unwrap();
-        let hot_base = (0u64 + 1) << 32; // region(0)
+        let hot_base = 1u64 << 32; // region(0)
         let (mut hot, mut cold) = (0usize, 0usize);
         for inst in t.warps.iter().flat_map(|wt| wt.insts.iter()) {
             if inst.kind.is_global_load() {

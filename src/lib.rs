@@ -1,0 +1,20 @@
+//! Facade crate for the GPUMech reproduction: one `use gpumech::...` path
+//! to every layer of the stack.
+//!
+//! - [`isa`] — kernel IR, instruction kinds, machine configuration (Table I);
+//! - [`analyze`] — static analysis and linting over the IR (CFG,
+//!   reconvergence verification, divergence and coalescing prediction);
+//! - [`trace`] — SIMT functional simulator and the 40-kernel workload
+//!   library (the GPUOcelot substitute);
+//! - [`mem`] — coalescer, caches, and the functional hierarchy simulator;
+//! - [`timing`] — the cycle-level validation oracle (MacSim substitute);
+//! - [`core`] — the interval-analysis performance model itself.
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow.
+
+pub use gpumech_analyze as analyze;
+pub use gpumech_core as core;
+pub use gpumech_isa as isa;
+pub use gpumech_mem as mem;
+pub use gpumech_timing as timing;
+pub use gpumech_trace as trace;

@@ -1,0 +1,515 @@
+//! Vendored, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace ships a minimal serialization framework with the same
+//! surface the code actually uses: `#[derive(Serialize, Deserialize)]`,
+//! `serde::{Serialize, Deserialize}` trait imports, `#[serde(default)]` /
+//! `#[serde(default = "path")]` field attributes, and the `serde_json`
+//! string front end.
+//!
+//! The data model is a single [`Value`] tree. `Serialize` lowers a Rust
+//! value into a [`Value`]; `Deserialize` rebuilds it. Integers are kept
+//! exact (`u64`/`i64` variants, not lossy `f64`), because traces store full
+//! 64-bit addresses and hash words.
+//!
+//! Encoding conventions match real `serde` defaults so the JSON written by
+//! this crate looks like what the real stack would emit:
+//! - structs → objects keyed by field name;
+//! - newtype structs → the inner value;
+//! - unit enum variants → the variant name as a string;
+//! - data-carrying variants → externally tagged `{"Variant": ...}`;
+//! - `Option` → `null` / the inner value;
+//! - `Duration` → `{"secs": u64, "nanos": u32}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree with exact integers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (exact).
+    U64(u64),
+    /// Negative integer (exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered list of `(key, value)` pairs; order is the
+    /// field declaration order, like `serde_json`'s default.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by key. Returns `None` for non-objects.
+    #[must_use]
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as an unsigned 64-bit integer, if exactly representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            #[allow(clippy::cast_sign_loss)]
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed 64-bit integer, if exactly representable.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert losslessly where possible).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message plus a reverse field path for context.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// A free-form error.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// A required field was absent.
+    #[must_use]
+    pub fn missing_field(field: &str) -> Self {
+        Error { msg: format!("missing field `{field}`") }
+    }
+
+    /// An enum tag did not match any variant.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error { msg: format!("unknown variant `{variant}` for enum `{ty}`") }
+    }
+
+    /// The value had the wrong shape for the target type.
+    #[must_use]
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        Error { msg: format!("invalid type: expected {expected}, found {}", got.kind()) }
+    }
+
+    /// Wraps the error with the field (or variant) it occurred under.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        Error { msg: format!("{field}: {}", self.msg) }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts a [`Value`] tree back into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| Error::invalid_type(stringify!($t), value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value.as_u64().ok_or_else(|| Error::invalid_type("usize", value))?;
+        usize::try_from(raw).map_err(|_| Error::custom(format!("integer {raw} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    #[allow(clippy::cast_sign_loss)]
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| Error::invalid_type(stringify!($t), value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value.as_i64().ok_or_else(|| Error::invalid_type("isize", value))?;
+        isize::try_from(raw).map_err(|_| Error::custom(format!("integer {raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::invalid_type("f64", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        value.as_f64().map(|v| v as f32).ok_or_else(|| Error::invalid_type("f32", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::invalid_type("2-element array", other)),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = value
+            .get_field("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::missing_field("secs"))?;
+        let nanos = value
+            .get_field("nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::missing_field("nanos"))?;
+        let nanos = u32::try_from(nanos).map_err(|_| Error::custom("nanos out of range"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Types usable as JSON map keys. JSON object keys are always strings, so
+/// (as in real serde_json) integer keys round-trip through their decimal
+/// string form.
+pub trait MapKey: Ord + Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `s` is not a valid rendering of `Self`.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| {
+                    Error::custom(format!(
+                        "invalid {} map key: {s:?}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    Ok((K::from_key(k)?, V::from_value(v).map_err(|e| e.in_field(k))?))
+                })
+                .collect(),
+            other => Err(Error::invalid_type("object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_stay_exact() {
+        let big: u64 = (7 << 32) | 5;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(i64::from_value(&Value::U64(9)).unwrap(), 9);
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn option_round_trips_through_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(4)).unwrap(), Some(4));
+        assert_eq!(Some(4u32).to_value(), Value::U64(4));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn duration_encodes_like_real_serde() {
+        let d = std::time::Duration::new(3, 500);
+        let v = d.to_value();
+        assert_eq!(v.get_field("secs"), Some(&Value::U64(3)));
+        assert_eq!(v.get_field("nanos"), Some(&Value::U64(500)));
+        assert_eq!(std::time::Duration::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn errors_carry_field_context() {
+        let v = Value::Object(vec![("x".to_string(), Value::Str("no".to_string()))]);
+        let err = u32::from_value(v.get_field("x").unwrap()).unwrap_err().in_field("x");
+        assert!(err.to_string().contains("x:"), "{err}");
+    }
+}

@@ -1,0 +1,427 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against `proc_macro` alone — no `syn`, no `quote`. The input item is
+//! lexed into a small token tree, shape-parsed (named/tuple/unit structs,
+//! unit/newtype/tuple/struct enum variants), and the impls are emitted as
+//! formatted strings re-parsed into a `TokenStream`.
+//!
+//! Supported field attributes: `#[serde(default)]` and
+//! `#[serde(default = "path")]`. Generics are deliberately unsupported —
+//! the workspace derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Flattened token for shape parsing.
+#[derive(Debug, Clone)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Group(Delimiter, Vec<Tok>),
+    Literal(String),
+}
+
+fn lex(ts: TokenStream) -> Vec<Tok> {
+    ts.into_iter()
+        .map(|tt| match tt {
+            TokenTree::Ident(i) => Tok::Ident(i.to_string()),
+            TokenTree::Punct(p) => Tok::Punct(p.as_char()),
+            TokenTree::Group(g) => Tok::Group(g.delimiter(), lex(g.stream())),
+            TokenTree::Literal(l) => Tok::Literal(l.to_string()),
+        })
+        .collect()
+}
+
+/// How a missing field is filled in during deserialization.
+#[derive(Debug, Clone)]
+enum FieldDefault {
+    /// No default: missing field is an error.
+    Required,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Consumes attributes at `*i`, returning any `#[serde(default...)]` found.
+fn skip_attrs(toks: &[Tok], i: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::Required;
+    while let Some(Tok::Punct('#')) = toks.get(*i) {
+        *i += 1;
+        let Some(Tok::Group(Delimiter::Bracket, inner)) = toks.get(*i) else {
+            panic!("expected [...] after # in attribute");
+        };
+        *i += 1;
+        if let Some(Tok::Ident(head)) = inner.first() {
+            if head == "serde" {
+                if let Some(Tok::Group(Delimiter::Parenthesis, args)) = inner.get(1) {
+                    default = parse_serde_attr(args);
+                }
+            }
+        }
+    }
+    default
+}
+
+fn parse_serde_attr(args: &[Tok]) -> FieldDefault {
+    let mut j = 0;
+    while j < args.len() {
+        if let Tok::Ident(name) = &args[j] {
+            if name == "default" {
+                if let (Some(Tok::Punct('=')), Some(Tok::Literal(lit))) = (args.get(j + 1), args.get(j + 2)) {
+                    let path = lit.trim_matches('"').to_string();
+                    return FieldDefault::Path(path);
+                }
+                return FieldDefault::Std;
+            }
+            panic!("unsupported serde attribute `{name}` (vendored derive supports only `default`)");
+        }
+        j += 1;
+    }
+    FieldDefault::Required
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[Tok], i: &mut usize) {
+    if let Some(Tok::Ident(id)) = toks.get(*i) {
+        if id == "pub" {
+            *i += 1;
+            if let Some(Tok::Group(Delimiter::Parenthesis, _)) = toks.get(*i) {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skips a type expression: everything up to a top-level `,` (consumed) or
+/// the end. Tracks `<`/`>` so commas inside generics don't split fields.
+fn skip_type(toks: &[Tok], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            Tok::Punct(',') if angle == 0 => {
+                *i += 1;
+                return;
+            }
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(toks: &[Tok]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    loop {
+        let default = skip_attrs(toks, &mut i);
+        skip_vis(toks, &mut i);
+        let Some(Tok::Ident(name)) = toks.get(i) else { break };
+        let name = name.clone();
+        i += 1;
+        assert!(matches!(toks.get(i), Some(Tok::Punct(':'))), "expected `:` after field `{name}`");
+        i += 1;
+        skip_type(toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(toks: &[Tok]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    loop {
+        skip_attrs(toks, &mut i);
+        skip_vis(toks, &mut i);
+        if toks.get(i).is_none() {
+            break;
+        }
+        skip_type(toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(toks: &[Tok]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    loop {
+        skip_attrs(toks, &mut i);
+        let Some(Tok::Ident(name)) = toks.get(i) else { break };
+        let name = name.clone();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(Tok::Group(Delimiter::Parenthesis, inner)) => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(inner))
+            }
+            Some(Tok::Group(Delimiter::Brace, inner)) => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        assert!(
+            !matches!(toks.get(i), Some(Tok::Punct('='))),
+            "explicit discriminants are not supported by the vendored derive"
+        );
+        if let Some(Tok::Punct(',')) = toks.get(i) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks = lex(input);
+    let mut i = 0;
+    // Item-level attributes and visibility.
+    let _ = skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(Tok::Ident(k)) if k == "struct" || k == "enum" => k.clone(),
+        other => panic!("derive expects a struct or enum, found {other:?}"),
+    };
+    i += 1;
+    let Some(Tok::Ident(name)) = toks.get(i) else { panic!("expected type name") };
+    let name = name.clone();
+    i += 1;
+    assert!(
+        !matches!(toks.get(i), Some(Tok::Punct('<'))),
+        "generic types are not supported by the vendored derive ({name})"
+    );
+    let shape = if keyword == "struct" {
+        match toks.get(i) {
+            Some(Tok::Group(Delimiter::Brace, inner)) => Shape::NamedStruct(parse_named_fields(inner)),
+            Some(Tok::Group(Delimiter::Parenthesis, inner)) => {
+                let arity = count_tuple_fields(inner);
+                if arity == 0 { Shape::UnitStruct } else { Shape::TupleStruct(arity) }
+            }
+            Some(Tok::Punct(';')) | None => Shape::UnitStruct,
+            other => panic!("unexpected struct body: {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(Tok::Group(Delimiter::Brace, inner)) => Shape::Enum(parse_variants(inner)),
+            other => panic!("unexpected enum body: {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let vals: Vec<String> =
+                            pats.iter().map(|p| format!("::serde::Serialize::to_value({p})")).collect();
+                        s.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            pats.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pats: Vec<String> =
+                            fields.iter().map(|f| format!("{0}: __f_{0}", f.name)).collect();
+                        let vals: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(__f_{0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            pats.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+/// Expression filling one named field from `__value`-like source `src`.
+fn named_field_expr(f: &Field, src: &str) -> String {
+    let missing = match &f.default {
+        FieldDefault::Required => format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{}\"))",
+            f.name
+        ),
+        FieldDefault::Std => "::core::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{0}: match {src}.get_field(\"{0}\") {{\n ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v).map_err(|__e| __e.in_field(\"{0}\"))?,\n ::std::option::Option::None => {missing},\n }}",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "if !matches!(__value, ::serde::Value::Object(_)) {{\n return ::std::result::Result::Err(::serde::Error::invalid_type(\"struct {name}\", __value));\n }}\n"
+            );
+            let inits: Vec<String> = fields.iter().map(|f| named_field_expr(f, "__value")).collect();
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n{}\n}})", inits.join(",\n")));
+            s
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __value {{\n ::serde::Value::Array(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}({})),\n __other => ::std::result::Result::Err(::serde::Error::invalid_type(\"{n}-element array\", __other)),\n }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"));
+            }
+            VariantKind::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner).map_err(|__e| __e.in_field(\"{vname}\"))?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}]).map_err(|__e| __e.in_field(\"{vname}\"))?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => match __inner {{\n ::serde::Value::Array(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}::{vname}({})),\n __other => ::std::result::Result::Err(::serde::Error::invalid_type(\"tuple variant {vname}\", __other)),\n }},\n",
+                    inits.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields.iter().map(|f| named_field_expr(f, "__inner")).collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{}\n}}),\n",
+                    inits.join(",\n")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __value {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n }},\n\
+         ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+         let (__tag, __inner) = &__pairs[0];\n let _ = __inner;\n\
+         match __tag.as_str() {{\n{data_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n }}\n }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::invalid_type(\"enum {name}\", __other)),\n }}"
+    )
+}
+
+/// Derives `serde::Serialize` for a concrete (non-generic) struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` for a concrete (non-generic) struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
