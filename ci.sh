@@ -4,8 +4,11 @@
 #
 #   1. release build of the whole workspace
 #   2. full test suite
-#   3. clippy with warnings denied
-#   4. `gpumech lint` over the 40-workload library (nonzero exit on any
+#   3. clippy with warnings denied (includes the panic-free restriction
+#      lints: unwrap_used / expect_used / panic)
+#   4. fault-injection suite: every mutator over all 40 workloads must
+#      yield a typed error or a finite CPI — never a panic
+#   5. `gpumech lint` over the 40-workload library (nonzero exit on any
 #      error-severity finding)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -18,6 +21,9 @@ cargo test --workspace -q
 
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fault injection =="
+cargo test -p gpumech-fault -q
 
 echo "== gpumech lint =="
 ./target/release/gpumech lint --min-severity warning

@@ -98,7 +98,11 @@ fn successors(kernel: &Kernel, pc: u32) -> Vec<u32> {
     match inst.kind {
         InstKind::Exit => vec![],
         InstKind::Branch => {
-            let target = inst.target.expect("validated branch has a target");
+            // A validated branch always carries a target; a malformed one
+            // falls through like a straight-line instruction.
+            let Some(target) = inst.target else {
+                return if pc + 1 < n { vec![pc + 1] } else { vec![] };
+            };
             if inst.cond == BranchCond::Always {
                 vec![target]
             } else if pc + 1 < n && target != pc + 1 {
@@ -324,7 +328,16 @@ pub(crate) fn verify(kernel: &Kernel, cfg: &Cfg) -> Vec<Diagnostic> {
             ));
             continue;
         }
-        let stored = inst.reconv.expect("validated conditional branch has reconv");
+        let Some(stored) = inst.reconv else {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                "reconv-mismatch",
+                pc as u32,
+                "conditional branch carries no reconvergence pc; divergent lanes \
+                 could never re-merge",
+            ));
+            continue;
+        };
         match cfg.ipdom(pc as u32) {
             Some(ipdom) if ipdom == stored => {}
             Some(ipdom) => diags.push(Diagnostic::at(
@@ -393,6 +406,7 @@ pub(crate) fn verify(kernel: &Kernel, cfg: &Cfg) -> Vec<Diagnostic> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::{KernelBuilder, Operand, ValueOp};

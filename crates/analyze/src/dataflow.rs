@@ -185,6 +185,7 @@ pub(crate) fn run(kernel: &Kernel, cfg: &Cfg) -> Dataflow {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::kernel::{KernelBuilder, Reg, ValueOp};

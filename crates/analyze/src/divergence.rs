@@ -254,7 +254,9 @@ pub(crate) fn run(
         if inst.kind != InstKind::Branch || inst.cond == BranchCond::Always || !cfg.reachable[pc] {
             continue;
         }
-        let reconv = inst.reconv.expect("validated conditional branch has reconv");
+        // Validation guarantees conditional branches carry a reconvergence
+        // pc; skip the influence region of a malformed one.
+        let Some(reconv) = inst.reconv else { continue };
         for v in cfg.region_until(&cfg.succs[pc], reconv) {
             influenced[v as usize].push(pc as u32);
         }
@@ -360,6 +362,7 @@ pub(crate) fn run(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::{AddrPattern, KernelBuilder};

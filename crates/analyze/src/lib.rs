@@ -143,6 +143,7 @@ pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::kernel::{BranchCond, Reg};

@@ -6,6 +6,8 @@
 //! Run with `cargo bench --bench components` (plain wall-clock timing; see
 //! [`gpumech_bench::bench_wall`]).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use gpumech_bench::bench_wall;
 use gpumech_core::{build_profile, multithreading_cpi, select_representative, SelectionMethod};
 use gpumech_isa::{SchedulingPolicy, SimConfig};

@@ -4,6 +4,8 @@
 //! Run with `cargo bench --bench speedup` (plain wall-clock timing; see
 //! [`gpumech_bench::bench_wall`]).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use gpumech_bench::bench_wall;
 use gpumech_core::{Gpumech, Model, SelectionMethod};
 use gpumech_isa::{SchedulingPolicy, SimConfig};

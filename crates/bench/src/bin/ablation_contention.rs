@@ -33,7 +33,7 @@ fn main() {
         .iter()
         .position(|a| a == "--blocks")
         .and_then(|i| args.get(i + 1))
-        .map_or(64, |s| s.parse().expect("--blocks N"));
+        .map_or(64, |s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
 
     let cfg = SimConfig::table1();
     let model = Gpumech::new(cfg.clone());
@@ -63,10 +63,10 @@ fn main() {
 
     let mut sums = [0.0f64; 4];
     for name in KERNELS {
-        let w = workloads::by_name(name).expect("bundled").with_blocks(blocks);
-        let trace = w.trace().expect("trace");
-        let oracle = simulate(&trace, &cfg, policy).expect("oracle").cpi();
-        let analysis = model.analyze(&trace).expect("analysis");
+        let w = workloads::by_name(name).unwrap_or_else(|| gpumech_bench::fail(format!("unknown kernel {name}"))).with_blocks(blocks);
+        let trace = w.trace().unwrap_or_else(|e| gpumech_bench::fail(format!("trace failed: {e}")));
+        let oracle = simulate(&trace, &cfg, policy).unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}"))).cpi();
+        let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
         let rep = select_representative(&analysis.profiles, SelectionMethod::Clustering);
         let profile = &analysis.profiles[rep];
         let warps = analysis.effective_warps;

@@ -22,7 +22,7 @@ fn main() {
         .iter()
         .position(|a| a == "--blocks")
         .and_then(|i| args.get(i + 1))
-        .map_or(64, |s| s.parse().expect("--blocks N"));
+        .map_or(64, |s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
 
     println!("# Ablation: SFU-contention extension (RR policy)");
     println!("# sweep: 32 (Table I default), 8, 4 SFU lanes per core\n");
@@ -32,15 +32,15 @@ fn main() {
     );
 
     for name in KERNELS {
-        let w = workloads::by_name(name).expect("bundled").with_blocks(blocks);
-        let trace = w.trace().expect("trace");
+        let w = workloads::by_name(name).unwrap_or_else(|| gpumech_bench::fail(format!("unknown kernel {name}"))).with_blocks(blocks);
+        let trace = w.trace().unwrap_or_else(|e| gpumech_bench::fail(format!("trace failed: {e}")));
         for lanes in [32usize, 8, 4] {
             let cfg = SimConfig::table1().with_sfu_per_core(lanes);
             let oracle = simulate(&trace, &cfg, SchedulingPolicy::RoundRobin)
-                .expect("oracle")
+                .unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}")))
                 .cpi();
             let model = Gpumech::new(cfg.clone());
-            let analysis = model.analyze(&trace).expect("analysis");
+            let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
             let p = model.predict_from_analysis(
                 &analysis,
                 SchedulingPolicy::RoundRobin,

@@ -18,9 +18,9 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--blocks" {
-            blocks = it.next().expect("--blocks N").parse().expect("number");
+            blocks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| gpumech_bench::fail("--blocks expects a number"));
         } else if a == "--mshrs" {
-            mshrs = it.next().expect("--mshrs N").parse().expect("number");
+            mshrs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| gpumech_bench::fail("--mshrs expects a number"));
         } else {
             names.push(a);
         }
@@ -40,15 +40,15 @@ fn main() {
         "kernel", "func dram", "oracle dram", "ratio", "oracle cpi", "dram util"
     );
     for name in names {
-        let w = workloads::by_name(&name).expect("kernel name").with_blocks(blocks);
-        let trace = w.trace().expect("trace");
+        let w = workloads::by_name(&name).unwrap_or_else(|| gpumech_bench::fail(format!("unknown kernel {name}"))).with_blocks(blocks);
+        let trace = w.trace().unwrap_or_else(|e| gpumech_bench::fail(format!("trace failed: {e}")));
         let stats = simulate_hierarchy(&trace, &cfg);
         let func_dram: u64 = stats
             .load_pcs()
             .chain(stats.store_pcs())
-            .map(|pc| stats.pc_stats(pc).unwrap().dram_reqs)
+            .map(|pc| stats.pc_stats(pc).map_or(0, |s| s.dram_reqs))
             .sum();
-        let oracle = simulate(&trace, &cfg, SchedulingPolicy::RoundRobin).expect("sim");
+        let oracle = simulate(&trace, &cfg, SchedulingPolicy::RoundRobin).unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}")));
         println!(
             "{:<28}{:>14}{:>14}{:>10.3}{:>12.3}{:>10.3}",
             name,

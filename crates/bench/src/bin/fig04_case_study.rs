@@ -13,7 +13,7 @@ use gpumech_trace::workloads;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().expect("--blocks N"));
+    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
     let kernel = arg_value(&args, "--kernel").unwrap_or_else(|| "srad_kernel1".to_string());
 
     let mut exp = Experiment::baseline();
@@ -22,7 +22,7 @@ fn main() {
         exp = exp.with_blocks(b);
     }
 
-    let w = workloads::by_name(&kernel).unwrap_or_else(|| panic!("unknown kernel {kernel}"));
+    let w = workloads::by_name(&kernel).unwrap_or_else(|| gpumech_bench::fail(format!("unknown kernel {kernel}")));
     println!("# Figure 4: per-component error, kernel {kernel} (RR policy)");
     let e = evaluate_kernel(&w, &exp);
     println!("# oracle CPI = {:.3}\n", e.oracle_cpi);

@@ -15,7 +15,7 @@ use gpumech_trace::workloads;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().expect("--blocks N"));
+    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
 
     let cfg = SimConfig::table1();
     let model = Gpumech::new(cfg.clone());
@@ -30,9 +30,9 @@ fn main() {
             Some(b) => w.with_blocks(b),
             None => w,
         };
-        let trace = w.trace().expect("trace");
-        let oracle = simulate(&trace, &cfg, policy).expect("oracle").cpi();
-        let analysis = model.analyze(&trace).expect("analysis");
+        let trace = w.trace().unwrap_or_else(|e| gpumech_bench::fail(format!("trace failed: {e}")));
+        let oracle = simulate(&trace, &cfg, policy).unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}"))).cpi();
+        let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
         let err = |sel: SelectionMethod| {
             let p = model.predict_from_analysis(&analysis, policy, Model::MtMshrBand, sel);
             (p.cpi_total() - oracle).abs() / oracle

@@ -15,7 +15,7 @@ use gpumech_trace::workloads;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().expect("--blocks N"));
+    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
     let json = arg_value(&args, "--json");
 
     let mut exp = Experiment::baseline().with_policy(SchedulingPolicy::GreedyThenOldest);
@@ -50,7 +50,7 @@ fn main() {
     println!("\npaper reference: GPUMech 14.0% mean error (GTO), Markov_Chain 65.3%");
 
     if let Some(path) = json {
-        dump_json(&evals, &path).expect("write json");
+        dump_json(&evals, &path).unwrap_or_else(|e| gpumech_bench::fail(format!("write json failed: {e}")));
         eprintln!("wrote {path}");
     }
 }

@@ -13,7 +13,7 @@ use gpumech_trace::workloads;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().expect("--blocks N"));
+    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
     let json = arg_value(&args, "--json");
 
     println!("# Figure 13: mean error vs warps per core (RR policy)");
@@ -54,7 +54,7 @@ fn main() {
     );
 
     if let Some(path) = json {
-        dump_json(&all_evals, &path).expect("write json");
+        dump_json(&all_evals, &path).unwrap_or_else(|e| gpumech_bench::fail(format!("write json failed: {e}")));
         eprintln!("wrote {path}");
     }
 }

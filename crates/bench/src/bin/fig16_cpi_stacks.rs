@@ -17,7 +17,7 @@ use gpumech_trace::workloads;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().expect("--blocks N"));
+    let blocks = arg_value(&args, "--blocks").map(|s| s.parse().unwrap_or_else(|_| gpumech_bench::fail("--blocks expects a number")));
 
     let policy = SchedulingPolicy::RoundRobin;
     println!("# Figure 16: CPI stacks vs warps per core (RR policy)");
@@ -28,15 +28,15 @@ fn main() {
             Some(b) => w.with_blocks(b),
             None => w,
         };
-        let trace = w.trace().expect("trace");
+        let trace = w.trace().unwrap_or_else(|e| gpumech_bench::fail(format!("trace failed: {e}")));
         println!("== {} ({}) ==", w.name, w.description);
 
         let mut rows: Vec<(usize, CpiStack, f64)> = Vec::new();
         for warps in [8usize, 16, 32, 48] {
             let cfg = SimConfig::table1().with_warps_per_core(warps);
-            let oracle = simulate(&trace, &cfg, policy).expect("oracle").cpi();
+            let oracle = simulate(&trace, &cfg, policy).unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}"))).cpi();
             let model = Gpumech::new(cfg);
-            let analysis = model.analyze(&trace).expect("analysis");
+            let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
             let p = model.predict_from_analysis(
                 &analysis,
                 policy,

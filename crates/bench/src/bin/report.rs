@@ -103,6 +103,7 @@ fn main() {
         out.push('\n');
     }
 
-    std::fs::write(&out_path, &out).expect("write report");
+    std::fs::write(&out_path, &out)
+        .unwrap_or_else(|e| gpumech_bench::fail(format!("write report failed: {e}")));
     println!("wrote {out_path}");
 }

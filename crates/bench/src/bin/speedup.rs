@@ -24,7 +24,7 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--blocks" {
-            blocks = Some(it.next().expect("--blocks N").parse().expect("number"));
+            blocks = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| gpumech_bench::fail("--blocks expects a number")));
         } else {
             names.push(a);
         }
@@ -55,7 +55,7 @@ fn main() {
     );
     let (mut tot_o, mut tot_a, mut tot_p) = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
     for name in &names {
-        let w = workloads::by_name(name).unwrap_or_else(|| panic!("unknown kernel {name}"));
+        let w = workloads::by_name(name).unwrap_or_else(|| gpumech_bench::fail(format!("unknown kernel {name}")));
         let e = evaluate_kernel(&w, &exp);
         let model_t = e.analysis_time + e.predict_time;
         println!(

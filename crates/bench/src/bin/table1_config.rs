@@ -9,7 +9,9 @@ use gpumech_isa::SimConfig;
 
 fn main() {
     let cfg = SimConfig::table1();
-    cfg.validate().expect("Table I config is valid");
+    if let Err(e) = cfg.validate() {
+        gpumech_bench::fail(format!("Table I config invalid: {e}"));
+    }
     println!("# Table I: simulation configuration");
     println!("{:<28}{}", "Number of cores", cfg.num_cores);
     println!("{:<28}{} GHz", "Clock", cfg.clock_ghz);

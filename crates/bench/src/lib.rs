@@ -23,6 +23,16 @@ use serde::{Deserialize, Serialize};
 /// allow an override for quick runs via [`Experiment::blocks`].
 pub const DEFAULT_BLOCKS: usize = 192;
 
+/// Prints `error: {msg}` to stderr and exits with a failure code.
+///
+/// The harness binaries treat any setup failure (unknown kernel, bad flag,
+/// oracle error) as fatal; this keeps that behaviour while avoiding a
+/// panic and its backtrace.
+pub fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
 /// One kernel evaluated under one configuration and policy: the oracle
 /// result and every model's prediction.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,18 +61,18 @@ impl KernelEval {
     /// `|CPI_model - CPI_sim| / CPI_sim`.
     #[must_use]
     pub fn error(&self, model: Model) -> f64 {
-        let p = self
-            .predictions
-            .iter()
-            .find(|p| p.model == model)
-            .unwrap_or_else(|| panic!("model {model} missing from evaluation"));
+        let p = self.prediction(model);
         (p.cpi_total() - self.oracle_cpi).abs() / self.oracle_cpi
     }
 
-    /// The prediction of one model.
+    /// The prediction of one model. Exits the process if `model` was not
+    /// evaluated (a harness programming error).
     #[must_use]
     pub fn prediction(&self, model: Model) -> &Prediction {
-        self.predictions.iter().find(|p| p.model == model).expect("all models evaluated")
+        self.predictions
+            .iter()
+            .find(|p| p.model == model)
+            .unwrap_or_else(|| fail(format_args!("model {model} missing from evaluation")))
     }
 }
 
@@ -111,35 +121,33 @@ impl Experiment {
 
 /// Runs the oracle and all five models for one workload.
 ///
-/// # Panics
-///
-/// Panics if tracing, simulation, or modeling fails — harness binaries
-/// treat any failure as fatal.
+/// Exits the process (via [`fail`]) if tracing, simulation, or modeling
+/// fails — harness binaries treat any failure as fatal.
 #[must_use]
 pub fn evaluate_kernel(workload: &Workload, exp: &Experiment) -> KernelEval {
     let w = match exp.blocks {
         Some(b) => workload.clone().with_blocks(b),
         None => workload.clone(),
     };
-    let trace = w.trace().unwrap_or_else(|e| panic!("{}: trace failed: {e}", w.name));
+    let trace = w.trace().unwrap_or_else(|e| fail(format_args!("{}: trace failed: {e}", w.name)));
     evaluate_trace(&w.name, &trace, exp)
 }
 
 /// [`evaluate_kernel`] over a pre-generated trace.
 ///
-/// # Panics
-///
-/// Panics if simulation or modeling fails.
+/// Exits the process (via [`fail`]) if simulation or modeling fails.
 #[must_use]
 pub fn evaluate_trace(name: &str, trace: &KernelTrace, exp: &Experiment) -> KernelEval {
     let t0 = Instant::now();
     let oracle: TimingResult = simulate(trace, &exp.cfg, exp.policy)
-        .unwrap_or_else(|e| panic!("{name}: oracle failed: {e}"));
+        .unwrap_or_else(|e| fail(format_args!("{name}: oracle failed: {e}")));
     let oracle_time = t0.elapsed();
 
     let model = Gpumech::new(exp.cfg.clone());
     let t1 = Instant::now();
-    let analysis = model.analyze(trace).unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+    let analysis = model
+        .analyze(trace)
+        .unwrap_or_else(|e| fail(format_args!("{name}: analysis failed: {e}")));
     let analysis_time = t1.elapsed();
 
     let t2 = Instant::now();
@@ -243,6 +251,7 @@ pub fn dump_json(evals: &[KernelEval], path: &str) -> Result<(), Box<dyn std::er
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_trace::workloads;

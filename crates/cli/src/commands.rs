@@ -33,6 +33,9 @@ pub enum CliError {
         /// The accepted values.
         expected: &'static str,
     },
+    /// The machine configuration assembled from `--warps`/`--mshrs`/`--bw`/
+    /// `--sfu` flags failed validation.
+    Config(String),
     /// The underlying library failed.
     Model(String),
     /// Writing an output file failed.
@@ -58,6 +61,9 @@ impl fmt::Display for CliError {
             CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}\n\n{USAGE}"),
             CliError::BadChoice { flag, value, expected } => {
                 write!(f, "--{flag} must be one of {expected}, got {value:?}")
+            }
+            CliError::Config(e) => {
+                write!(f, "invalid machine configuration: {e} (run `gpumech config` for defaults)")
             }
             CliError::Model(e) => write!(f, "modeling failed: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
@@ -98,7 +104,7 @@ fn machine_config(args: &Args) -> Result<SimConfig, CliError> {
     if let Some(s) = args.flag_opt::<usize>("sfu")? {
         cfg = cfg.with_sfu_per_core(s);
     }
-    cfg.validate().map_err(|e| CliError::Model(e.to_string()))?;
+    cfg.validate().map_err(|e| CliError::Config(e.to_string()))?;
     Ok(cfg)
 }
 
@@ -267,6 +273,9 @@ fn render_prediction(p: &Prediction, header: &str) -> String {
         p.representative, p.single_warp_cpi, p.warps_per_core
     ));
     out.push_str(&format!("  {}\n", p.cpi.render_bar(60)));
+    for w in &p.warnings {
+        out.push_str(&format!("  warning: {w}\n"));
+    }
     out
 }
 
@@ -548,6 +557,7 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -631,6 +641,52 @@ mod tests {
             run_err(&["predict", "sdk_vectoradd", "--bogus", "1"]),
             CliError::Args(ArgError::UnknownFlag(_))
         ));
+    }
+
+    #[test]
+    fn out_of_range_machine_flags_are_rejected_with_one_line_messages() {
+        // Every subcommand that accepts machine flags must reject
+        // out-of-range values with a typed Config error whose message is a
+        // single actionable line (main prints it and exits nonzero).
+        for argv in [
+            &["predict", "sdk_vectoradd", "--warps", "100000"][..],
+            &["predict", "sdk_vectoradd", "--mshrs", "0"],
+            &["predict", "sdk_vectoradd", "--bw", "0.5"],
+            &["simulate", "sdk_vectoradd", "--warps", "0"],
+            &["compare", "sdk_vectoradd", "--bw", "-3"],
+            &["config", "--sfu", "64"],
+            &["profile", "sdk_vectoradd", "--mshrs", "9999999"],
+            &["intervals", "sdk_vectoradd", "--warps", "100000"],
+        ] {
+            let e = run_err(argv);
+            assert!(matches!(e, CliError::Config(_)), "{argv:?} gave {e:?}");
+            let msg = e.to_string();
+            assert_eq!(msg.lines().count(), 1, "multi-line message for {argv:?}: {msg}");
+            assert!(msg.contains("gpumech config"), "message not actionable: {msg}");
+        }
+    }
+
+    #[test]
+    fn bad_flag_values_are_rejected_per_subcommand() {
+        assert!(matches!(
+            run_err(&["predict", "sdk_vectoradd", "--model", "quantum"]),
+            CliError::BadChoice { flag: "model", .. }
+        ));
+        assert!(matches!(
+            run_err(&["predict", "sdk_vectoradd", "--selection", "random"]),
+            CliError::BadChoice { flag: "selection", .. }
+        ));
+        assert!(matches!(
+            run_err(&["simulate", "sdk_vectoradd", "--policy", "lifo"]),
+            CliError::BadChoice { flag: "policy", .. }
+        ));
+        for cmd in ["trace", "predict", "simulate", "compare", "stacks", "profile", "intervals"] {
+            assert!(
+                matches!(run_err(&[cmd, "no_such_kernel"]), CliError::UnknownKernel(_)),
+                "{cmd} should reject unknown kernels"
+            );
+            assert!(matches!(run_err(&[cmd]), CliError::Args(_)), "{cmd} requires a kernel");
+        }
     }
 
     #[test]

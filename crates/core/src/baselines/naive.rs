@@ -26,6 +26,7 @@ pub fn naive_interval_cpi(profile: &IntervalProfile, num_warps: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::{Interval, StallCause};

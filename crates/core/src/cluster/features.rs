@@ -43,6 +43,7 @@ pub fn feature_vectors(profiles: &[IntervalProfile]) -> Vec<FeatureVector> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::{Interval, StallCause};

@@ -22,6 +22,11 @@ pub struct KmeansResult {
     pub representative: usize,
     /// Lloyd iterations executed.
     pub iterations: usize,
+    /// `true` when the clustering degenerated: a feature was non-finite or
+    /// Lloyd failed to converge within the iteration cap. The result is
+    /// still well-formed (valid indices, no NaN panics), but callers should
+    /// prefer a selection method that does not rely on cluster structure.
+    pub degenerate: bool,
 }
 
 const MAX_ITERS: usize = 100;
@@ -35,24 +40,24 @@ const MAX_ITERS: usize = 100;
 pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
     assert!(!points.is_empty(), "kmeans2 requires at least one point");
 
+    let degenerate_input =
+        points.iter().any(|p| !p.perf.is_finite() || !p.insts.is_finite());
+
     // Deterministic seeding: extremes of the perf axis (falling back to the
-    // insts axis when perf is uniform).
-    let lo = points
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| (a.perf, a.insts).partial_cmp(&(b.perf, b.insts)).expect("finite"))
-        .map(|(i, _)| i)
-        .expect("non-empty");
-    let hi = points
-        .iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| (a.perf, a.insts).partial_cmp(&(b.perf, b.insts)).expect("finite"))
-        .map(|(i, _)| i)
-        .expect("non-empty");
+    // insts axis when perf is uniform). `total_cmp` gives a total order even
+    // over NaN/Inf features, so corrupted profiles cannot panic the seeding.
+    let key_cmp = |a: &FeatureVector, b: &FeatureVector| {
+        a.perf.total_cmp(&b.perf).then(a.insts.total_cmp(&b.insts))
+    };
+    let lo =
+        points.iter().enumerate().min_by(|(_, a), (_, b)| key_cmp(a, b)).map_or(0, |(i, _)| i);
+    let hi =
+        points.iter().enumerate().max_by(|(_, a), (_, b)| key_cmp(a, b)).map_or(0, |(i, _)| i);
     let mut centroids = [points[lo], points[hi]];
 
     let mut assignment = vec![0u8; points.len()];
     let mut iterations = 0;
+    let mut converged = false;
     for it in 0..MAX_ITERS {
         iterations = it + 1;
         let mut changed = false;
@@ -64,19 +69,45 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
             }
         }
         if !changed && it > 0 {
+            converged = true;
             break;
         }
+        let before = centroids;
         for c in 0..2u8 {
             let members: Vec<&FeatureVector> =
                 points.iter().zip(&assignment).filter(|(_, &a)| a == c).map(|(p, _)| p).collect();
             if members.is_empty() {
-                continue; // keep the stale centroid; the cluster is empty
+                // Deterministic re-seed: park the empty cluster on the point
+                // farthest from the other centroid so the next assignment
+                // pass can repopulate it (a stale centroid would otherwise
+                // drift arbitrarily far from the data).
+                let other = centroids[1 - c as usize];
+                if let Some(far) = points
+                    .iter()
+                    .max_by(|a, b| a.dist2(&other).total_cmp(&b.dist2(&other)))
+                {
+                    centroids[c as usize] = *far;
+                }
+                continue;
             }
             let n = members.len() as f64;
             centroids[c as usize] = FeatureVector {
                 perf: members.iter().map(|p| p.perf).sum::<f64>() / n,
                 insts: members.iter().map(|p| p.insts).sum::<f64>() / n,
             };
+        }
+        // Oscillation guard: over (near-)identical points the cluster mean
+        // is inexact by an ulp while a re-seeded centroid sits exactly on a
+        // data point, so assignments can flip between bit-identical
+        // configurations forever. Sub-epsilon centroid movement is
+        // convergence, not progress. (NaN movement fails the comparison and
+        // falls through to the degenerate-input path.)
+        let moved = centroids[0]
+            .dist2(&before[0])
+            .max(centroids[1].dist2(&before[1]));
+        if moved <= 1e-18 {
+            converged = true;
+            break;
         }
     }
 
@@ -88,13 +119,14 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
         .enumerate()
         .filter(|(i, _)| assignment[*i] == majority)
         .min_by(|(_, a), (_, b)| a.dist2(&centre).total_cmp(&b.dist2(&centre)))
-        .map(|(i, _)| i)
-        .expect("majority cluster is non-empty");
+        .map_or(0, |(i, _)| i);
 
-    KmeansResult { assignment, centroids, majority, representative, iterations }
+    let degenerate = degenerate_input || !converged;
+    KmeansResult { assignment, centroids, majority, representative, iterations, degenerate }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -145,6 +177,30 @@ mod tests {
         assert_eq!(r.assignment[0], r.assignment[1]);
         assert_ne!(r.assignment[0], r.assignment[3]);
         assert!(r.representative < 3, "majority is the short-warp cluster");
+    }
+
+    #[test]
+    fn empty_cluster_reseeds_deterministically() {
+        // All-identical points: every point is assigned to cluster 0, so
+        // cluster 1 empties on the first pass and must be re-seeded (not
+        // left on a stale centroid).
+        let pts = vec![fv(1.0, 1.0); 8];
+        let a = kmeans2(&pts);
+        let b = kmeans2(&pts);
+        assert_eq!(a, b, "re-seeding must be deterministic");
+        assert!(a.representative < 8);
+        assert!(!a.degenerate);
+        for c in &a.centroids {
+            assert!(c.perf.is_finite() && c.insts.is_finite());
+        }
+    }
+
+    #[test]
+    fn nan_features_degrade_without_panicking() {
+        let pts = vec![fv(1.0, 1.0), fv(f64::NAN, 1.0), fv(2.0, f64::INFINITY), fv(1.1, 1.0)];
+        let r = kmeans2(&pts);
+        assert!(r.degenerate, "non-finite features must flag the result degenerate");
+        assert!(r.representative < pts.len());
     }
 
     #[test]

@@ -41,14 +41,12 @@ pub fn select_representative(profiles: &[IntervalProfile], method: SelectionMeth
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| a.warp_perf().total_cmp(&b.warp_perf()))
-            .map(|(i, _)| i)
-            .expect("non-empty"),
+            .map_or(0, |(i, _)| i),
         SelectionMethod::Min => profiles
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.warp_perf().total_cmp(&b.warp_perf()))
-            .map(|(i, _)| i)
-            .expect("non-empty"),
+            .map_or(0, |(i, _)| i),
         SelectionMethod::Clustering => {
             let feats = feature_vectors(profiles);
             let km = kmeans2(&feats);
@@ -58,6 +56,7 @@ pub fn select_representative(profiles: &[IntervalProfile], method: SelectionMeth
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::{Interval, StallCause};

@@ -72,7 +72,12 @@ pub fn dram_queue_delays_with(
     let insts = profile.total_insts() as f64;
     let n = profile.intervals.len();
     let total_dram: f64 = profile.intervals.iter().map(|iv| iv.dram_reqs).sum();
-    if insts <= 0.0 || total_dram <= 0.0 || cpi_before_queue <= 0.0 {
+    if insts <= 0.0
+        || total_dram <= 0.0
+        || cpi_before_queue <= 0.0
+        || !total_dram.is_finite()
+        || !cpi_before_queue.is_finite()
+    {
         return DramQueueResult { per_interval: vec![0.0; n], cpi: 0.0, rho: 0.0 };
     }
     let s = cfg.dram_service_cycles();
@@ -124,6 +129,7 @@ pub fn dram_queue_delays_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::Interval;

@@ -178,6 +178,7 @@ pub fn sfu_cpi(profile: &IntervalProfile, cfg: &SimConfig, cpi_before: f64) -> f
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::{Interval, StallCause};

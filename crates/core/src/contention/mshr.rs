@@ -33,8 +33,13 @@ pub fn mshr_delay(
     avg_miss_latency: f64,
 ) -> f64 {
     // Equation 18. MSHR-allocating requests only (loads that miss L1).
+    // NaN/Inf request counts cast to 0/u64::MAX respectively; the latency
+    // guard keeps a corrupt AMAT from propagating NaN into the delay.
     let core_reqs = (interval.mshr_reqs * num_warps as f64).round() as u64;
-    if core_reqs <= num_mshrs as u64 || interval.mshr_load_events <= 0.0 {
+    if core_reqs <= num_mshrs as u64
+        || interval.mshr_load_events <= 0.0
+        || !avg_miss_latency.is_finite()
+    {
         return 0.0; // Equation 20, no-contention branch.
     }
     // Equation 19.
@@ -46,6 +51,7 @@ pub fn mshr_delay(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::StallCause;

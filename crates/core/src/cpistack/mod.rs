@@ -189,7 +189,11 @@ impl CpiStack {
         if insts == 0.0 {
             return Self::default();
         }
-        let mut stack = CpiStack { base: 1.0 / profile.issue_rate, ..Default::default() };
+        // A corrupt profile could carry a zero/NaN issue rate; treat it as
+        // the 1-inst/cycle default instead of producing an Inf/NaN BASE.
+        let issue_rate =
+            if profile.issue_rate.is_finite() && profile.issue_rate > 0.0 { profile.issue_rate } else { 1.0 };
+        let mut stack = CpiStack { base: 1.0 / issue_rate, ..Default::default() };
         for iv in &profile.intervals {
             match iv.cause {
                 StallCause::None => {}
@@ -229,6 +233,7 @@ impl CpiStack {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::Interval;

@@ -67,12 +67,11 @@ pub fn build_profile(warp: &WarpTrace, cfg: &SimConfig, mem: &MemStats) -> Inter
             // gets the blame (Figure 6: the instruction "that leads to
             // stall cycles").
             cur.stall_cycles = stall;
-            cur.cause = match blamed.map(|b| b.kind) {
-                Some(InstKind::Load(MemSpace::Global)) => {
-                    StallCause::Memory { pc: blamed.expect("blamed set").pc }
+            cur.cause = match blamed {
+                Some(b) if matches!(b.kind, InstKind::Load(MemSpace::Global)) => {
+                    StallCause::Memory { pc: b.pc }
                 }
-                Some(_) => StallCause::Compute,
-                None => StallCause::Compute,
+                _ => StallCause::Compute,
             };
             profile.intervals.push(std::mem::replace(&mut cur, new_interval()));
         }
@@ -118,6 +117,7 @@ fn accumulate(cur: &mut Interval, inst: &TraceInst, mem: &MemStats, _cfg: &SimCo
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::{AddrPattern, KernelBuilder, Operand, ValueOp, WarpId};

@@ -31,12 +31,12 @@
 //! use gpumech_isa::SimConfig;
 //! use gpumech_trace::workloads;
 //!
-//! let w = workloads::by_name("cfd_step_factor").expect("bundled").with_blocks(16);
+//! let w = workloads::by_name("cfd_step_factor").ok_or("missing workload")?.with_blocks(16);
 //! let report = Gpumech::new(SimConfig::default())
 //!     .predict(&w, SchedulingPolicy::RoundRobin)?;
 //! println!("CPI = {:.2}, of which DRAM queue = {:.2}",
 //!          report.cpi.total(), report.cpi.queue);
-//! # Ok::<(), gpumech_core::ModelError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod baselines;

@@ -121,6 +121,10 @@ pub struct Prediction {
     pub multithreading: MultithreadingResult,
     /// Contention-model detail (zeroed for models that exclude it).
     pub contention: ContentionResult,
+    /// Human-readable degradation notices. Empty for a clean prediction;
+    /// non-empty when the pipeline downgraded itself (e.g. k-means
+    /// degenerated and a population-weighted selection was used instead).
+    pub warnings: Vec<String>,
 }
 
 impl Prediction {
@@ -208,6 +212,7 @@ impl Gpumech {
     /// Returns [`ModelError::InvalidConfig`] or [`ModelError::EmptyKernel`].
     pub fn analyze(&self, trace: &KernelTrace) -> Result<Analysis, ModelError> {
         self.cfg.validate().map_err(ModelError::InvalidConfig)?;
+        trace.validate().map_err(ModelError::Trace)?;
         if trace.total_insts() == 0 {
             return Err(ModelError::EmptyKernel);
         }
@@ -235,6 +240,23 @@ impl Gpumech {
         model: Model,
         selection: SelectionMethod,
     ) -> Prediction {
+        if selection == SelectionMethod::Clustering {
+            let feats = crate::cluster::feature_vectors(&analysis.profiles);
+            let km = crate::cluster::kmeans2(&feats);
+            if km.degenerate {
+                // Graceful degradation: the cluster structure is unreliable
+                // (non-finite features or Lloyd non-convergence), so blend
+                // by population instead of trusting one representative.
+                let mut p = self.predict_weighted_clusters(analysis, policy, model);
+                p.warnings.push(
+                    "k-means clustering degenerated (non-finite features or no convergence); \
+                     downgraded to population-weighted cluster selection"
+                        .to_owned(),
+                );
+                return p;
+            }
+            return self.predict_profile(analysis, km.representative, policy, model);
+        }
         let rep = select_representative(&analysis.profiles, selection);
         self.predict_profile(analysis, rep, policy, model)
     }
@@ -311,6 +333,7 @@ impl Gpumech {
             single_warp_cpi: profile.single_warp_cpi(),
             multithreading: mt,
             contention: rc,
+            warnings: Vec::new(),
         }
     }
 
@@ -373,7 +396,10 @@ impl Gpumech {
                 }
             });
         }
-        let mut p = blended.expect("kmeans over non-empty input has a cluster");
+        // At least one cluster is always populated; the fallback covers a
+        // (theoretically unreachable) fully-empty assignment without a panic.
+        let mut p =
+            blended.unwrap_or_else(|| self.predict_profile(analysis, km.representative, policy, model));
         p.representative = km.representative;
         p
     }
@@ -395,6 +421,7 @@ fn weighted(p: &Prediction, weight: f64) -> Prediction {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_trace::workloads;

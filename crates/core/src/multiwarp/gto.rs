@@ -40,6 +40,7 @@ pub fn gto_nonoverlapped(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::StallCause;

@@ -88,6 +88,7 @@ pub fn multithreading_cpi(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::{Interval, StallCause};

@@ -23,6 +23,7 @@ pub fn rr_nonoverlapped(interval: &Interval, issue_prob: f64, num_warps: usize) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::interval::StallCause;

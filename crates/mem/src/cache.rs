@@ -76,13 +76,11 @@ impl Cache {
         }
         self.misses += 1;
         if allocate {
-            let victim = ways
-                .iter_mut()
-                .min_by_key(|w| if w.valid { w.lru } else { 0 })
-                .expect("assoc >= 1");
-            victim.tag = tag;
-            victim.valid = true;
-            victim.lru = self.tick;
+            if let Some(victim) = ways.iter_mut().min_by_key(|w| if w.valid { w.lru } else { 0 }) {
+                victim.tag = tag;
+                victim.valid = true;
+                victim.lru = self.tick;
+            }
         }
         Access::Miss
     }
@@ -105,6 +103,7 @@ impl Cache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

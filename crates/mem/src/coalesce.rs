@@ -32,6 +32,7 @@ pub fn num_requests(addrs: &[u64], line_bytes: u64) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

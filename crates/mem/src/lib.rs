@@ -21,13 +21,13 @@
 //! use gpumech_mem::simulate_hierarchy;
 //! use gpumech_trace::workloads;
 //!
-//! let w = workloads::by_name("sdk_vectoradd").expect("bundled").with_blocks(4);
+//! let w = workloads::by_name("sdk_vectoradd").ok_or("missing workload")?.with_blocks(4);
 //! let trace = w.trace()?;
 //! let stats = simulate_hierarchy(&trace, &SimConfig::default());
 //! // Streaming kernels never hit: every load PC resolves near 420 cycles.
-//! let pc = stats.load_pcs().next().expect("has loads");
+//! let pc = stats.load_pcs().next().ok_or("no loads")?;
 //! assert!(stats.load_latency(pc) > 300.0);
-//! # Ok::<(), gpumech_trace::TraceError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod cache;

@@ -52,10 +52,11 @@ impl MshrFile {
     /// entry is consumed — reserved for this request).
     fn entry_available(&mut self, now: u64) -> u64 {
         if self.occupancy.len() < self.capacity {
-            now
-        } else {
-            let std::cmp::Reverse(t) = self.occupancy.pop().expect("full file is non-empty");
-            t.max(now)
+            return now;
+        }
+        match self.occupancy.pop() {
+            Some(std::cmp::Reverse(t)) => t.max(now),
+            None => now,
         }
     }
 
@@ -267,7 +268,8 @@ impl<'t> Core<'t> {
 
     fn issue(&mut self, idx: usize, now: u64, l2: &mut Cache, dram: &mut DramChannel) {
         let slot = idx / self.wpb;
-        let w = self.warps[idx].as_mut().expect("picked warp exists");
+        // `pick_warp` only returns indices of occupied slots.
+        let Some(w) = self.warps[idx].as_mut() else { return };
         let inst = &self.trace.warps[w.trace_idx].insts[w.next];
         let line_bytes = self.cfg.l1.line_bytes as u64;
 
@@ -330,7 +332,7 @@ impl<'t> Core<'t> {
             kind => now + self.cfg.latencies.latency_of(kind),
         };
 
-        let w = self.warps[idx].as_mut().expect("picked warp exists");
+        let Some(w) = self.warps[idx].as_mut() else { return };
         if let Some(log) = &mut self.issue_log {
             log[w.trace_idx].push(now);
         }

@@ -44,10 +44,22 @@ pub struct DramChannel {
 
 impl DramChannel {
     /// Builds the channel from the machine configuration.
+    ///
+    /// The service time is clamped to one booking window; a validated
+    /// configuration ([`SimConfig::validate`] bounds
+    /// `dram_service_cycles()` by `MAX_DRAM_SERVICE_CYCLES`) is never
+    /// clamped, but the guard keeps [`DramChannel::book`]'s capacity search
+    /// terminating even on unvalidated inputs.
     #[must_use]
     pub fn new(cfg: &SimConfig) -> Self {
+        let service = cfg.dram_service_cycles();
+        let service = if service.is_finite() && service > 0.0 {
+            service.min(WINDOW_CYCLES as f64)
+        } else {
+            1.0
+        };
         Self {
-            service: cfg.dram_service_cycles(),
+            service,
             access_latency: cfg.dram_latency,
             booked: BTreeMap::new(),
             requests: 0,
@@ -136,6 +148,7 @@ impl DramChannel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -33,7 +33,7 @@
 //! use gpumech_timing::simulate;
 //! use gpumech_trace::workloads;
 //!
-//! let w = workloads::by_name("sdk_vectoradd").expect("bundled").with_blocks(8);
+//! let w = workloads::by_name("sdk_vectoradd").ok_or("missing workload")?.with_blocks(8);
 //! let trace = w.trace()?;
 //! let r = simulate(&trace, &SimConfig::default(), SchedulingPolicy::RoundRobin)?;
 //! assert!(r.cycles > 0 && r.cpi() > 1.0);

@@ -4,7 +4,7 @@ use std::fmt;
 
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_mem::Cache;
-use gpumech_trace::KernelTrace;
+use gpumech_trace::{KernelTrace, TraceError};
 use serde::{Deserialize, Serialize};
 
 use crate::core::Core;
@@ -19,8 +19,9 @@ pub const MAX_CYCLES: u64 = 2_000_000_000;
 pub enum SimError {
     /// The machine configuration failed validation.
     InvalidConfig(gpumech_isa::ConfigError),
-    /// The trace's warp count does not match its launch geometry.
-    MalformedTrace,
+    /// The trace violates a structural invariant
+    /// ([`gpumech_trace::KernelTrace::validate`]).
+    MalformedTrace(TraceError),
     /// The simulation exceeded [`MAX_CYCLES`].
     CycleLimit,
 }
@@ -29,7 +30,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
-            SimError::MalformedTrace => f.write_str("trace warp count does not match launch"),
+            SimError::MalformedTrace(e) => write!(f, "malformed trace: {e}"),
             SimError::CycleLimit => write!(f, "simulation exceeded {MAX_CYCLES} cycles"),
         }
     }
@@ -39,7 +40,8 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::InvalidConfig(e) => Some(e),
-            _ => None,
+            SimError::MalformedTrace(e) => Some(e),
+            SimError::CycleLimit => None,
         }
     }
 }
@@ -111,7 +113,7 @@ pub fn simulate_with_issue_log(
     cfg: &SimConfig,
     policy: SchedulingPolicy,
 ) -> Result<(TimingResult, Vec<Vec<u64>>), SimError> {
-    simulate_impl(trace, cfg, policy, true).map(|(r, log)| (r, log.expect("log requested")))
+    simulate_impl(trace, cfg, policy, true).map(|(r, log)| (r, log.unwrap_or_default()))
 }
 
 #[allow(clippy::type_complexity)]
@@ -122,9 +124,7 @@ fn simulate_impl(
     with_log: bool,
 ) -> Result<(TimingResult, Option<Vec<Vec<u64>>>), SimError> {
     cfg.validate().map_err(SimError::InvalidConfig)?;
-    if trace.warps.len() != trace.launch.total_warps() {
-        return Err(SimError::MalformedTrace);
-    }
+    trace.validate().map_err(SimError::MalformedTrace)?;
 
     // Deal blocks to cores (same rule as the functional cache simulator).
     let mut per_core_blocks: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_cores];
@@ -203,6 +203,7 @@ fn simulate_impl(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::{AddrPattern, KernelBuilder, Operand, ValueOp};
@@ -396,7 +397,7 @@ mod tests {
         let w = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(2);
         let mut t = w.trace().unwrap();
         t.warps.pop();
-        assert_eq!(simulate(&t, &cfg(), rr()).unwrap_err(), SimError::MalformedTrace);
+        assert!(matches!(simulate(&t, &cfg(), rr()), Err(SimError::MalformedTrace(_))));
     }
 
     #[test]

@@ -58,6 +58,28 @@ pub enum TraceError {
         /// The warp that overran the limit.
         warp: WarpId,
     },
+    /// A trace violates a structural invariant (checked on load and before
+    /// simulation — see [`crate::KernelTrace::validate`]).
+    CorruptTrace {
+        /// Kernel name from the trace header.
+        kernel: String,
+        /// Grid-global index of the offending warp, when attributable.
+        warp: Option<usize>,
+        /// The violated invariant.
+        detail: String,
+    },
+    /// An internal tracer invariant failed — a malformed kernel slipped
+    /// past the pre-trace checks; reported instead of panicking.
+    BrokenInvariant {
+        /// Kernel being traced.
+        kernel: String,
+        /// Warp being traced.
+        warp: WarpId,
+        /// Static PC at which the invariant failed.
+        pc: u32,
+        /// The violated invariant.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -76,6 +98,13 @@ impl std::fmt::Display for TraceError {
             TraceError::InstLimit { warp } => {
                 write!(f, "warp {warp} exceeded {MAX_DYN_INSTS_PER_WARP} dynamic instructions")
             }
+            TraceError::CorruptTrace { kernel, warp, detail } => match warp {
+                Some(w) => write!(f, "corrupt trace for kernel '{kernel}', warp {w}: {detail}"),
+                None => write!(f, "corrupt trace for kernel '{kernel}': {detail}"),
+            },
+            TraceError::BrokenInvariant { kernel, warp, pc, detail } => {
+                write!(f, "tracer invariant broken in kernel '{kernel}', warp {warp}, pc {pc}: {detail}")
+            }
         }
     }
 }
@@ -84,7 +113,10 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::InvalidKernel(e) => Some(e),
-            TraceError::RejectedByAnalysis { .. } | TraceError::InstLimit { .. } => None,
+            TraceError::RejectedByAnalysis { .. }
+            | TraceError::InstLimit { .. }
+            | TraceError::CorruptTrace { .. }
+            | TraceError::BrokenInvariant { .. } => None,
         }
     }
 }
@@ -315,14 +347,32 @@ impl<'k> WarpMachine<'k> {
                         }
                     };
                     let fall = mask & !taken;
-                    let target = inst.target.expect("validated branch target");
-                    let top = self.stack.last_mut().expect("non-empty stack");
+                    // Targets/reconvergence PCs are guaranteed by kernel
+                    // validation and the stack top by the loop condition;
+                    // report (never panic) if an invariant is broken.
+                    let Some(target) = inst.target else {
+                        return Err(TraceError::BrokenInvariant {
+                            kernel: self.kernel.name.clone(),
+                            warp: self.warp,
+                            pc: top.pc,
+                            detail: "branch without a target survived validation",
+                        });
+                    };
+                    let reconv = inst.reconv;
+                    let Some(frame) = self.stack.last_mut() else { break };
                     match (taken != 0, fall != 0) {
-                        (true, false) => top.pc = target,
-                        (false, true) => top.pc += 1,
+                        (true, false) => frame.pc = target,
+                        (false, true) => frame.pc += 1,
                         (true, true) => {
-                            let reconv = inst.reconv.expect("validated reconvergence");
-                            top.pc = reconv;
+                            let Some(reconv) = reconv else {
+                                return Err(TraceError::BrokenInvariant {
+                                    kernel: self.kernel.name.clone(),
+                                    warp: self.warp,
+                                    pc: top.pc,
+                                    detail: "divergent branch without a reconvergence pc",
+                                });
+                            };
+                            frame.pc = reconv;
                             let fall_pc = insts[idx as usize].pc + 1;
                             self.stack.push(Frame { pc: fall_pc, mask: fall, reconv });
                             self.stack.push(Frame { pc: target, mask: taken, reconv });
@@ -359,8 +409,8 @@ impl<'k> WarpMachine<'k> {
                         }
                         self.last_writer[dst as usize] = Some(idx);
                     }
-                    let top = self.stack.last_mut().expect("non-empty stack");
-                    top.pc += 1;
+                    let Some(frame) = self.stack.last_mut() else { break };
+                    frame.pc += 1;
                 }
             }
         }
@@ -451,6 +501,7 @@ pub fn trace_kernel_opts(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::{AddrPattern, KernelBuilder, MemSpace};

@@ -22,7 +22,7 @@
 //! ```
 //! use gpumech_trace::{workloads, io};
 //!
-//! let trace = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(2).trace()?;
+//! let trace = workloads::by_name("sdk_vectoradd").ok_or("missing workload")?.with_blocks(2).trace()?;
 //! let bytes = io::encode(&trace);
 //! let back = io::decode(&bytes)?;
 //! assert_eq!(trace, back);
@@ -31,6 +31,7 @@
 
 use gpumech_isa::{BlockId, InstKind, MemSpace, WarpId};
 
+use crate::engine::TraceError;
 use crate::launch::LaunchConfig;
 use crate::record::{KernelTrace, TraceInst, WarpTrace};
 
@@ -50,6 +51,11 @@ pub enum DecodeError {
     BadKind(u8),
     /// A string field is not valid UTF-8.
     BadString,
+    /// The launch geometry stored in the header is invalid.
+    BadLaunch(String),
+    /// The decoded structure violates a trace invariant
+    /// ([`KernelTrace::validate`]).
+    Invalid(String),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -60,6 +66,8 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => f.write_str("trace data truncated"),
             DecodeError::BadKind(t) => write!(f, "unknown instruction kind tag {t}"),
             DecodeError::BadString => f.write_str("invalid UTF-8 in trace"),
+            DecodeError::BadLaunch(e) => write!(f, "invalid launch geometry: {e}"),
+            DecodeError::Invalid(e) => write!(f, "decoded trace is invalid: {e}"),
         }
     }
 }
@@ -165,10 +173,12 @@ pub fn encode(trace: &KernelTrace) -> Vec<u8> {
             put_varint(&mut out, u64::from(inst.pc));
             out.push(kind_tag(inst.kind));
             put_varint(&mut out, inst.deps.len() as u64);
-            // Deps are sorted ascending: delta-code them.
+            // Deps are sorted ascending: delta-code them. Wrapping keeps the
+            // encoder total on corrupt (unsorted) inputs; the decoder's
+            // wrapping add inverts it exactly either way.
             let mut prev = 0u64;
             for &d in &inst.deps {
-                put_varint(&mut out, u64::from(d) - prev);
+                put_varint(&mut out, u64::from(d).wrapping_sub(prev));
                 prev = u64::from(d);
             }
             out.extend_from_slice(&inst.active_mask.to_le_bytes());
@@ -187,7 +197,17 @@ pub fn encode(trace: &KernelTrace) -> Vec<u8> {
 
 // --- decode -----------------------------------------------------------------
 
-/// Deserializes a trace from the compact binary format.
+/// Bounds a claimed element count by what the remaining buffer could
+/// possibly hold (every element costs at least one byte), so a corrupt
+/// length prefix cannot trigger a huge up-front allocation.
+fn capped_capacity(claimed: usize, buf: &[u8], pos: usize) -> usize {
+    claimed.min(buf.len().saturating_sub(pos))
+}
+
+/// Deserializes a trace from the compact binary format and validates the
+/// result with [`KernelTrace::validate`], so arbitrary (fuzzed, truncated,
+/// bit-flipped) input yields a typed error — never a panic, an unbounded
+/// allocation, or a structurally broken trace.
 ///
 /// # Errors
 ///
@@ -204,36 +224,42 @@ pub fn decode(buf: &[u8]) -> Result<KernelTrace, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let name_len = get_varint(buf, &mut pos)? as usize;
-    let name_bytes = buf.get(pos..pos + name_len).ok_or(DecodeError::Truncated)?;
+    let name_end = pos.checked_add(name_len).ok_or(DecodeError::Truncated)?;
+    let name_bytes = buf.get(pos..name_end).ok_or(DecodeError::Truncated)?;
     let name = std::str::from_utf8(name_bytes).map_err(|_| DecodeError::BadString)?.to_string();
-    pos += name_len;
+    pos = name_end;
 
     let threads_per_block = get_varint(buf, &mut pos)? as usize;
     let num_blocks = get_varint(buf, &mut pos)? as usize;
-    let launch = LaunchConfig::new(threads_per_block.max(32), num_blocks.max(1));
+    let launch =
+        LaunchConfig::try_new(threads_per_block, num_blocks).map_err(DecodeError::BadLaunch)?;
     let num_warps = get_varint(buf, &mut pos)? as usize;
 
-    let mut warps = Vec::with_capacity(num_warps);
+    let mut warps = Vec::with_capacity(capped_capacity(num_warps, buf, pos));
     for w in 0..num_warps {
         let n_insts = get_varint(buf, &mut pos)? as usize;
-        let mut insts = Vec::with_capacity(n_insts);
+        let mut insts = Vec::with_capacity(capped_capacity(n_insts, buf, pos));
         for _ in 0..n_insts {
             let pc = get_varint(buf, &mut pos)? as u32;
             let tag = *buf.get(pos).ok_or(DecodeError::Truncated)?;
             pos += 1;
             let kind = tag_kind(tag)?;
             let n_deps = get_varint(buf, &mut pos)? as usize;
-            let mut deps = Vec::with_capacity(n_deps);
+            let mut deps = Vec::with_capacity(capped_capacity(n_deps, buf, pos));
             let mut prev = 0u64;
             for _ in 0..n_deps {
-                prev += get_varint(buf, &mut pos)?;
+                prev = prev.wrapping_add(get_varint(buf, &mut pos)?);
                 deps.push(prev as u32);
             }
-            let mask_bytes = buf.get(pos..pos + 4).ok_or(DecodeError::Truncated)?;
-            let active_mask = u32::from_le_bytes(mask_bytes.try_into().expect("4 bytes"));
-            pos += 4;
+            let mask_end = pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+            let mask_bytes: [u8; 4] = buf
+                .get(pos..mask_end)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(DecodeError::Truncated)?;
+            let active_mask = u32::from_le_bytes(mask_bytes);
+            pos = mask_end;
             let n_addrs = get_varint(buf, &mut pos)? as usize;
-            let mut addrs = Vec::with_capacity(n_addrs);
+            let mut addrs = Vec::with_capacity(capped_capacity(n_addrs, buf, pos));
             let mut prev = 0i64;
             for _ in 0..n_addrs {
                 prev = prev.wrapping_add(unzigzag(get_varint(buf, &mut pos)?));
@@ -248,7 +274,37 @@ pub fn decode(buf: &[u8]) -> Result<KernelTrace, DecodeError> {
             insts,
         });
     }
-    Ok(KernelTrace { name, launch, warps })
+    let trace = KernelTrace { name, launch, warps };
+    trace.validate().map_err(|e| DecodeError::Invalid(e.to_string()))?;
+    Ok(trace)
+}
+
+/// Serializes a trace to JSON (the interchange format; ~20x larger than
+/// [`encode`] but human-readable and diffable).
+///
+/// # Errors
+///
+/// Propagates serialization errors.
+pub fn to_json(trace: &KernelTrace) -> Result<String, serde_json::Error> {
+    serde_json::to_string(trace)
+}
+
+/// Parses a trace from JSON and validates its structural invariants, so a
+/// hand-edited or corrupted file surfaces as a typed error instead of a
+/// panic deep inside a model.
+///
+/// # Errors
+///
+/// Returns [`TraceError::CorruptTrace`] on parse failure or any violated
+/// invariant.
+pub fn from_json(json: &str) -> Result<KernelTrace, TraceError> {
+    let trace: KernelTrace = serde_json::from_str(json).map_err(|e| TraceError::CorruptTrace {
+        kernel: String::new(),
+        warp: None,
+        detail: format!("JSON parse error: {e}"),
+    })?;
+    trace.validate()?;
+    Ok(trace)
 }
 
 /// Writes a trace to `path` in the binary format.
@@ -272,6 +328,7 @@ pub fn load(path: &std::path::Path) -> std::io::Result<KernelTrace> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::workloads;
@@ -339,6 +396,62 @@ mod tests {
             // Truncations must error (any variant), never panic.
             let _ = decode(&trace_bytes[..cut]);
         }
+    }
+
+    /// Deterministic corruption fan over the binary format: flip one
+    /// seeded byte per case and decode. Every case must yield either a
+    /// typed [`DecodeError`] or a trace that passed validation — reaching
+    /// the end of the loop proves no case panicked.
+    #[test]
+    fn binary_byte_flip_fan_yields_typed_errors_never_panics() {
+        let trace = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(2).trace().unwrap();
+        let bytes = encode(&trace);
+        let outcome = |seed: u64| {
+            let r = crate::splitmix64(seed);
+            let pos = (r as usize) % bytes.len();
+            let flip = ((r >> 32) as u8) | 1; // never a zero xor (always a real change)
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= flip;
+            match decode(&corrupt) {
+                Ok(t) => {
+                    // A flip the format cannot distinguish from valid data
+                    // must still satisfy every structural invariant.
+                    t.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid decode: {e}"));
+                    "ok"
+                }
+                Err(_) => "typed",
+            }
+        };
+        let first: Vec<_> = (0..128).map(outcome).collect();
+        let second: Vec<_> = (0..128).map(outcome).collect();
+        assert_eq!(first, second, "byte-flip outcomes are not deterministic");
+        assert!(first.contains(&"typed"), "no flip was rejected; the fan is toothless");
+    }
+
+    /// The same fan over the JSON path: corrupt one seeded character and
+    /// re-load. [`from_json`] must return a typed [`TraceError`] or a
+    /// validated trace, never panic.
+    #[test]
+    fn json_corruption_fan_yields_typed_errors_never_panics() {
+        let trace = workloads::by_name("sdk_transpose").unwrap().with_blocks(1).trace().unwrap();
+        let json = to_json(&trace).unwrap();
+        let bytes = json.as_bytes();
+        let mut typed = 0;
+        for seed in 0..128u64 {
+            let r = crate::splitmix64(seed ^ 0xA5A5_5A5A);
+            let pos = (r as usize) % bytes.len();
+            // Substitute a printable ASCII character so the corrupt input
+            // is still a valid string (exercises the parser, not UTF-8).
+            let sub = b' ' + ((r >> 32) % 94) as u8;
+            let mut corrupt = bytes.to_vec();
+            corrupt[pos] = sub;
+            let s = String::from_utf8(corrupt).unwrap();
+            match from_json(&s) {
+                Ok(t) => t.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}")),
+                Err(_) => typed += 1,
+            }
+        }
+        assert!(typed > 0, "no substitution was rejected; the fan is toothless");
     }
 
     #[test]

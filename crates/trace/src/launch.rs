@@ -31,6 +31,37 @@ impl LaunchConfig {
         Self { threads_per_block, num_blocks }
     }
 
+    /// Fallible [`LaunchConfig::new`] for untrusted inputs (deserialized
+    /// traces): returns a description of the violated constraint instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `threads_per_block` is zero or not a multiple of
+    /// 32, if `num_blocks` is zero, or if the grid exceeds [`Self::MAX_WARPS`]
+    /// total warps.
+    pub fn try_new(threads_per_block: usize, num_blocks: usize) -> Result<Self, String> {
+        if threads_per_block == 0 || !threads_per_block.is_multiple_of(WARP_SIZE) {
+            return Err(format!(
+                "threads_per_block ({threads_per_block}) must be a non-zero multiple of {WARP_SIZE}"
+            ));
+        }
+        if num_blocks == 0 {
+            return Err("num_blocks must be non-zero".to_string());
+        }
+        let warps = (threads_per_block / WARP_SIZE).checked_mul(num_blocks);
+        match warps {
+            Some(w) if w <= Self::MAX_WARPS => Ok(Self { threads_per_block, num_blocks }),
+            _ => Err(format!(
+                "grid of {threads_per_block}x{num_blocks} threads exceeds {} total warps",
+                Self::MAX_WARPS
+            )),
+        }
+    }
+
+    /// Largest grid (in warps) accepted from untrusted inputs.
+    pub const MAX_WARPS: usize = 1 << 24;
+
     /// Warps per thread block.
     #[must_use]
     pub fn warps_per_block(&self) -> usize {
@@ -97,6 +128,7 @@ impl LaunchConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -1,9 +1,10 @@
 //! Dynamic trace records: the interface between the functional simulator
 //! and every downstream consumer (cache model, interval model, oracle).
 
-use gpumech_isa::{BlockId, InstKind, WarpId};
+use gpumech_isa::{BlockId, InstKind, WarpId, WARP_SIZE};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::TraceError;
 use crate::launch::LaunchConfig;
 
 /// One dynamically executed warp-instruction.
@@ -86,9 +87,114 @@ impl KernelTrace {
     pub fn total_global_mem_insts(&self) -> usize {
         self.warps.iter().map(WarpTrace::global_mem_insts).sum()
     }
+
+    /// Checks the structural invariants every downstream consumer (cache
+    /// model, interval algorithm, timing oracle) relies on. Traces produced
+    /// by the tracer satisfy them by construction; deserialized or mutated
+    /// traces must pass here before being simulated, or indexing panics
+    /// would be reachable from untrusted input.
+    ///
+    /// Invariants: the launch geometry is well-formed, the warp count
+    /// matches the grid, every warp is non-empty with consistent warp/block
+    /// ids, dependency indices are strictly ascending and refer only to
+    /// earlier instructions, active masks are non-zero, and address lists
+    /// are consistent with the instruction kind and active-lane count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::CorruptTrace`] naming the offending warp and
+    /// the violated invariant.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let corrupt = |warp: Option<usize>, detail: String| TraceError::CorruptTrace {
+            kernel: self.name.clone(),
+            warp,
+            detail,
+        };
+        let launch =
+            LaunchConfig::try_new(self.launch.threads_per_block, self.launch.num_blocks)
+                .map_err(|e| corrupt(None, format!("invalid launch geometry: {e}")))?;
+        if self.warps.len() != launch.total_warps() {
+            return Err(corrupt(
+                None,
+                format!(
+                    "trace has {} warps but the launch geometry implies {}",
+                    self.warps.len(),
+                    launch.total_warps()
+                ),
+            ));
+        }
+        for (i, w) in self.warps.iter().enumerate() {
+            if w.insts.is_empty() {
+                return Err(corrupt(Some(i), "warp executed no instructions".to_string()));
+            }
+            if w.warp.index() != i {
+                return Err(corrupt(
+                    Some(i),
+                    format!("warp id {} stored at grid index {i}", w.warp.index()),
+                ));
+            }
+            if w.block != launch.block_of_warp(w.warp) {
+                return Err(corrupt(
+                    Some(i),
+                    format!(
+                        "block id {} inconsistent with launch geometry (expected {})",
+                        w.block.index(),
+                        launch.block_of_warp(w.warp).index()
+                    ),
+                ));
+            }
+            for (k, inst) in w.insts.iter().enumerate() {
+                let mut prev: Option<u32> = None;
+                for &d in &inst.deps {
+                    if d as usize >= k {
+                        return Err(corrupt(
+                            Some(i),
+                            format!(
+                                "instruction {k} (pc {}) depends on instruction {d}, which is \
+                                 not earlier in the warp",
+                                inst.pc
+                            ),
+                        ));
+                    }
+                    if prev.is_some_and(|p| p >= d) {
+                        return Err(corrupt(
+                            Some(i),
+                            format!(
+                                "instruction {k} (pc {}) has unsorted or duplicate \
+                                 dependencies",
+                                inst.pc
+                            ),
+                        ));
+                    }
+                    prev = Some(d);
+                }
+                if inst.active_mask == 0 {
+                    return Err(corrupt(
+                        Some(i),
+                        format!("instruction {k} (pc {}) has an empty active mask", inst.pc),
+                    ));
+                }
+                let expected_addrs =
+                    if inst.kind.is_mem() { inst.active_lanes() as usize } else { 0 };
+                if inst.addrs.len() != expected_addrs || inst.addrs.len() > WARP_SIZE {
+                    return Err(corrupt(
+                        Some(i),
+                        format!(
+                            "instruction {k} (pc {}) records {} addresses but its kind and \
+                             active mask imply {expected_addrs}",
+                            inst.pc,
+                            inst.addrs.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use gpumech_isa::MemSpace;

@@ -11,6 +11,8 @@
 //!   in the tracer must be a pure optimization: with it on or off, every
 //!   workload's trace must serialize to byte-identical form.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use gpumech_analyze::{analyze, CoalesceClass, Severity};
 use gpumech_trace::{io, trace_kernel_opts, workloads, TraceOptions};
 

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example cpi_stack_explorer [kernel]`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use gpumech::core::{Gpumech, SchedulingPolicy, StallCategory};
 use gpumech::isa::SimConfig;
 use gpumech::trace::workloads;

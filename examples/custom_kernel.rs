@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example custom_kernel`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use gpumech::core::{Gpumech, SchedulingPolicy};
 use gpumech::isa::{KernelBuilder, MemSpace, Operand, SimConfig, ValueOp};
 use gpumech::trace::{trace_kernel, LaunchConfig};

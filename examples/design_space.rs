@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example design_space [kernel]`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::time::Instant;
 
 use gpumech::core::{Gpumech, Model, SchedulingPolicy, SelectionMethod};

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use gpumech::core::{Gpumech, SchedulingPolicy};
 use gpumech::isa::SimConfig;
 use gpumech::timing::simulate;
