@@ -10,6 +10,9 @@
 #      yield a typed error or a finite CPI — never a panic
 #   5. `gpumech lint` over the 40-workload library (nonzero exit on any
 #      error-severity finding)
+#   6. observability round trip: `gpumech profile` writes a JSONL trace
+#      and a Chrome trace, and `gpumech obs-validate` checks the JSONL
+#      against the exporter schema and the stage.subsystem.name scheme
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,5 +30,10 @@ cargo test -p gpumech-fault -q
 
 echo "== gpumech lint =="
 ./target/release/gpumech lint --min-severity warning
+
+echo "== observability =="
+./target/release/gpumech profile sdk_vectoradd --blocks 4 \
+  --obs-out target/obs-ci.jsonl --chrome-out target/obs-ci.trace.json > /dev/null
+./target/release/gpumech obs-validate target/obs-ci.jsonl
 
 echo "CI OK"

@@ -108,8 +108,10 @@ impl KernelAnalysis {
 /// conservative path.
 #[must_use]
 pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
+    let _span = gpumech_obs::span!("analyze.lint.kernel", name = kernel.name.as_str());
     let n = kernel.insts.len();
     if let Err(e) = kernel.validate() {
+        gpumech_obs::counter!("analyze.lint.invalid_kernels", 1u64);
         return KernelAnalysis {
             kernel_name: kernel.name.clone(),
             diagnostics: vec![Diagnostic::global(
@@ -132,6 +134,9 @@ pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
     let metrics = metrics::compute(kernel, &cfg, &dv, df.written, df.max_live);
 
     diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.pc.cmp(&b.pc)));
+
+    gpumech_obs::counter!("analyze.lint.kernels", 1u64);
+    gpumech_obs::counter!("analyze.lint.diagnostics", diagnostics.len() as u64);
 
     KernelAnalysis {
         kernel_name: kernel.name.clone(),

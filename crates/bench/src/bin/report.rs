@@ -66,6 +66,32 @@ fn per_kernel_table(evals: &[KernelEval], top: usize) -> String {
     out
 }
 
+/// Aggregates model warnings across evaluations: distinct warning text →
+/// the kernels (deduplicated, first-seen order) that produced it.
+fn warning_table(evals: &[KernelEval]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut kernels: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for e in evals {
+        for w in gpumech_bench::distinct_warnings(&e.predictions) {
+            if !kernels.contains_key(&w) {
+                order.push(w.clone());
+            }
+            let ks = kernels.entry(w).or_default();
+            if !ks.contains(&e.name) {
+                ks.push(e.name.clone());
+            }
+        }
+    }
+    if order.is_empty() {
+        return "(no model warnings recorded)\n".to_string();
+    }
+    let mut out = String::from("| warning | kernels |\n|---|---|\n");
+    for w in order {
+        out.push_str(&format!("| {w} | {} |\n", kernels[&w].join(", ")));
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| {
@@ -78,6 +104,7 @@ fn main() {
     let mut out = String::from("# GPUMech reproduction — generated report\n\n");
     out.push_str("Mean relative CPI error per model (lower is better).\n\n");
 
+    let mut all_evals: Vec<KernelEval> = Vec::new();
     for (file, title) in [
         ("fig11.json", "Figure 11 — round-robin policy"),
         ("fig12.json", "Figure 12 — greedy-then-oldest policy"),
@@ -101,7 +128,14 @@ fn main() {
             out.push_str(&per_kernel_table(&evals, 8));
         }
         out.push('\n');
+        all_evals.extend(evals);
     }
+
+    // Model warnings would otherwise be dropped on the floor here — every
+    // Prediction carries them through the JSON dumps, so surface them.
+    out.push_str("## Model warnings\n\n");
+    out.push_str(&warning_table(&all_evals));
+    out.push('\n');
 
     std::fs::write(&out_path, &out)
         .unwrap_or_else(|e| gpumech_bench::fail(format!("write report failed: {e}")));

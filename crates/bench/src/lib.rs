@@ -133,11 +133,31 @@ pub fn evaluate_kernel(workload: &Workload, exp: &Experiment) -> KernelEval {
     evaluate_trace(&w.name, &trace, exp)
 }
 
+/// Deduplicated model warnings across all predictions of an evaluation,
+/// in first-seen order.
+#[must_use]
+pub fn distinct_warnings(predictions: &[Prediction]) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for p in predictions {
+        for w in &p.warnings {
+            if !seen.contains(w) {
+                seen.push(w.clone());
+            }
+        }
+    }
+    seen
+}
+
 /// [`evaluate_kernel`] over a pre-generated trace.
+///
+/// Model warnings are printed to stderr (deduplicated) rather than
+/// silently dropped; they also remain on each serialized [`Prediction`]
+/// so JSON dumps carry them.
 ///
 /// Exits the process (via [`fail`]) if simulation or modeling fails.
 #[must_use]
 pub fn evaluate_trace(name: &str, trace: &KernelTrace, exp: &Experiment) -> KernelEval {
+    let _span = gpumech_obs::span!("bench.eval.kernel", name = name, policy = exp.policy.to_string());
     let t0 = Instant::now();
     let oracle: TimingResult = simulate(trace, &exp.cfg, exp.policy)
         .unwrap_or_else(|e| fail(format_args!("{name}: oracle failed: {e}")));
@@ -156,6 +176,13 @@ pub fn evaluate_trace(name: &str, trace: &KernelTrace, exp: &Experiment) -> Kern
         .map(|&m| model.predict_from_analysis(&analysis, exp.policy, m, exp.selection))
         .collect();
     let predict_time = t2.elapsed();
+
+    let warnings = distinct_warnings(&predictions);
+    gpumech_obs::counter!("bench.eval.kernels", 1u64);
+    gpumech_obs::counter!("bench.eval.warnings", warnings.len() as u64);
+    for w in &warnings {
+        eprintln!("warning: {name}: {w}");
+    }
 
     KernelEval {
         name: name.to_string(),

@@ -2,6 +2,7 @@
 //! print, so tests assert on output without process spawning.
 
 use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use gpumech_analyze::{analyze, KernelAnalysis, Severity};
 use gpumech_core::{
@@ -9,8 +10,10 @@ use gpumech_core::{
     StallCategory,
 };
 use gpumech_isa::SimConfig;
+use gpumech_obs::Recorder;
 use gpumech_timing::simulate;
 use gpumech_trace::{workloads, Workload};
+use serde::Value;
 
 use crate::args::{ArgError, Args};
 use crate::USAGE;
@@ -49,6 +52,15 @@ pub enum CliError {
         /// Number of error-severity findings.
         errors: usize,
     },
+    /// `obs-validate` found schema or naming violations in a JSONL trace.
+    /// The report carries one line per violation so `main` can print it
+    /// before exiting nonzero.
+    ObsInvalid {
+        /// Rendered problem list, one line each.
+        report: String,
+        /// Number of violations.
+        problems: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -70,6 +82,9 @@ impl fmt::Display for CliError {
             CliError::LintFailed { errors, .. } => {
                 write!(f, "lint found {errors} error-severity finding(s)")
             }
+            CliError::ObsInvalid { problems, .. } => {
+                write!(f, "observability trace failed validation with {problems} problem(s)")
+            }
         }
     }
 }
@@ -89,6 +104,33 @@ impl From<std::io::Error> for CliError {
 }
 
 const MACHINE_FLAGS: [&str; 5] = ["blocks", "warps", "mshrs", "bw", "sfu"];
+
+/// Serializes installation of the process-global recorder. The recorder
+/// slot is shared by every thread, so concurrent commands (the test
+/// harness runs them in parallel) must take turns.
+static OBS_SERIAL: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under a freshly installed recorder when `--obs-out` was given
+/// and writes the JSONL export afterwards; without the flag, runs `f`
+/// directly with observability disabled (one atomic load per probe).
+fn with_obs<F>(args: &Args, f: F) -> Result<String, CliError>
+where
+    F: FnOnce() -> Result<String, CliError>,
+{
+    let Some(path) = args.flag("obs-out") else {
+        return f();
+    };
+    let _serial = OBS_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Arc::new(Recorder::new());
+    let result = {
+        let _installed = gpumech_obs::install(Arc::clone(&rec));
+        f()
+    };
+    let mut out = result?;
+    std::fs::write(path, gpumech_obs::to_jsonl(&rec.snapshot()))?;
+    out.push_str(&format!("observability trace written to {path}\n"));
+    Ok(out)
+}
 
 fn machine_config(args: &Args) -> Result<SimConfig, CliError> {
     let mut cfg = SimConfig::table1();
@@ -161,24 +203,45 @@ where
         "list" => cmd_list(&Args::parse(rest, &[])?),
         "config" => cmd_config(&Args::parse(rest, &MACHINE_FLAGS)?),
         "trace" => cmd_trace(&Args::parse(rest, &["blocks", "json"])?),
-        "predict" => cmd_predict(&Args::parse(
+        "predict" => {
+            let args = Args::parse(
+                rest,
+                &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection",
+                  "obs-out"],
+            )?;
+            with_obs(&args, || cmd_predict(&args))
+        }
+        "simulate" => {
+            let args = Args::parse(
+                rest,
+                &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "obs-out"],
+            )?;
+            with_obs(&args, || cmd_simulate(&args))
+        }
+        "compare" => {
+            let args = Args::parse(
+                rest,
+                &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "obs-out"],
+            )?;
+            with_obs(&args, || cmd_compare(&args))
+        }
+        "stacks" => {
+            let args = Args::parse(rest, &["blocks", "policy", "obs-out"])?;
+            with_obs(&args, || cmd_stacks(&args))
+        }
+        "profile" => cmd_profile(&Args::parse(
             rest,
-            &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection"],
+            &["blocks", "warps", "mshrs", "bw", "sfu", "obs-out", "chrome-out"],
         )?),
-        "simulate" => cmd_simulate(&Args::parse(
-            rest,
-            &["blocks", "warps", "mshrs", "bw", "sfu", "policy"],
-        )?),
-        "compare" => cmd_compare(&Args::parse(
-            rest,
-            &["blocks", "warps", "mshrs", "bw", "sfu", "policy"],
-        )?),
-        "stacks" => cmd_stacks(&Args::parse(rest, &["blocks", "policy"])?),
-        "profile" => cmd_profile(&Args::parse(rest, &["blocks", "warps", "mshrs", "bw", "sfu"])?),
         "intervals" => {
-            cmd_intervals(&Args::parse(rest, &["blocks", "warps", "mshrs", "bw", "sfu", "limit"])?)
+            let args = Args::parse(
+                rest,
+                &["blocks", "warps", "mshrs", "bw", "sfu", "limit", "obs-out"],
+            )?;
+            with_obs(&args, || cmd_intervals(&args))
         }
         "lint" => cmd_lint(&Args::parse(rest, &["format", "min-severity"])?),
+        "obs-validate" => cmd_obs_validate(&Args::parse(rest, &[])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -385,14 +448,39 @@ fn cmd_stacks(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_profile(args: &Args) -> Result<String, CliError> {
-    let w = lookup(args)?;
-    let cfg = machine_config(args)?;
+/// The traced portion of `profile`: everything that should land inside
+/// the installed recorder's spans runs here, between install and snapshot.
+fn profile_pipeline(
+    w: &Workload,
+    cfg: SimConfig,
+) -> Result<(gpumech_core::Analysis, Prediction), CliError> {
     let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
     let model = Gpumech::new(cfg);
     let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
+    let p = model.predict_from_analysis(
+        &analysis,
+        SchedulingPolicy::RoundRobin,
+        Model::MtMshrBand,
+        SelectionMethod::Clustering,
+    );
+    Ok((analysis, p))
+}
+
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let w = lookup(args)?;
+    let cfg = machine_config(args)?;
+
+    // `profile` is the observability entry point: it always records, and
+    // appends the per-stage report and recorder summary to its output.
+    let _serial = OBS_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Arc::new(Recorder::new());
+    let profiled = {
+        let _installed = gpumech_obs::install(Arc::clone(&rec));
+        profile_pipeline(&w, cfg)
+    };
+    let (analysis, p) = profiled?;
     let pop = summarize_population(&analysis.profiles);
-    let rep = gpumech_core::select_representative(&analysis.profiles, SelectionMethod::Clustering);
+    let rep = p.representative;
     let s = analysis.profiles[rep].summary();
 
     let mut out = format!("kernel: {}\n\n== warp population ==\n", w.name);
@@ -430,6 +518,19 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
         s.dram_reqs_per_inst,
         analysis.mem.avg_miss_latency(),
     ));
+    out.push_str("\n== pipeline stages ==\n");
+    out.push_str(&p.report.render());
+    let snap = rec.snapshot();
+    out.push_str("\n== recorder ==\n");
+    out.push_str(&gpumech_obs::render_tree(&snap));
+    if let Some(path) = args.flag("obs-out") {
+        std::fs::write(path, gpumech_obs::to_jsonl(&snap))?;
+        out.push_str(&format!("observability trace written to {path}\n"));
+    }
+    if let Some(path) = args.flag("chrome-out") {
+        std::fs::write(path, gpumech_obs::to_chrome_trace(&snap))?;
+        out.push_str(&format!("Chrome trace written to {path}\n"));
+    }
     Ok(out)
 }
 
@@ -469,6 +570,152 @@ fn cmd_intervals(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!("... {} more (use --limit)\n", profile.intervals.len() - limit));
     }
     Ok(out)
+}
+
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get_field(key).and_then(Value::as_u64)
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.get_field(key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn u64_or_null(v: &Value, key: &str) -> bool {
+    matches!(v.get_field(key), Some(Value::Null)) || field_u64(v, key).is_some()
+}
+
+fn num_or_null(v: &Value, key: &str) -> bool {
+    matches!(v.get_field(key), Some(Value::Null))
+        || v.get_field(key).and_then(Value::as_f64).is_some()
+}
+
+/// Checks the `name` field of an obs line against the
+/// `stage.subsystem.name` scheme.
+fn check_obs_name(v: &Value, what: &str, lineno: usize, problems: &mut Vec<String>) {
+    match field_str(v, "name") {
+        None => problems.push(format!("line {lineno}: {what} missing string \"name\"")),
+        Some(name) if !gpumech_obs::valid_metric_name(name) => problems.push(format!(
+            "line {lineno}: {what} name {name:?} outside the stage.subsystem.name scheme"
+        )),
+        Some(_) => {}
+    }
+}
+
+const METRIC_KINDS: [&str; 3] = ["counter", "gauge", "histogram"];
+
+fn check_obs_kind(v: &Value, what: &str, lineno: usize, problems: &mut Vec<String>) {
+    match field_str(v, "kind") {
+        Some(k) if METRIC_KINDS.contains(&k) => {}
+        Some(k) => problems.push(format!(
+            "line {lineno}: {what} kind {k:?} not one of counter|gauge|histogram"
+        )),
+        None => problems.push(format!("line {lineno}: {what} missing string \"kind\"")),
+    }
+}
+
+/// Schema check for one parsed JSONL line; tallies the line type into
+/// `counts` (meta, span, metric, aggregate) and appends problems.
+fn check_obs_line(v: &Value, lineno: usize, counts: &mut [usize; 4], problems: &mut Vec<String>) {
+    let Some(ty) = field_str(v, "type") else {
+        problems.push(format!("line {lineno}: missing string \"type\" field"));
+        return;
+    };
+    match ty {
+        "meta" => {
+            counts[0] += 1;
+            if field_u64(v, "version") != Some(1) {
+                problems.push(format!("line {lineno}: meta version must be 1"));
+            }
+            if field_u64(v, "dropped_samples").is_none() {
+                problems.push(format!("line {lineno}: meta missing integer \"dropped_samples\""));
+            }
+            match v.get_field("invalid_names") {
+                Some(Value::Array(names)) => {
+                    for n in names {
+                        if let Value::Str(s) = n {
+                            problems.push(format!(
+                                "line {lineno}: recorder saw name {s:?} outside the \
+                                 stage.subsystem.name scheme"
+                            ));
+                        }
+                    }
+                }
+                _ => problems
+                    .push(format!("line {lineno}: meta missing \"invalid_names\" array")),
+            }
+        }
+        "span" => {
+            counts[1] += 1;
+            for key in ["id", "thread", "start_ns"] {
+                if field_u64(v, key).is_none() {
+                    problems.push(format!("line {lineno}: span missing integer {key:?}"));
+                }
+            }
+            for key in ["dur_ns", "parent"] {
+                if !u64_or_null(v, key) {
+                    problems.push(format!("line {lineno}: span {key:?} must be integer or null"));
+                }
+            }
+            check_obs_name(v, "span", lineno, problems);
+        }
+        "metric" => {
+            counts[2] += 1;
+            check_obs_kind(v, "metric", lineno, problems);
+            check_obs_name(v, "metric", lineno, problems);
+            if field_u64(v, "ts_ns").is_none() {
+                problems.push(format!("line {lineno}: metric missing integer \"ts_ns\""));
+            }
+            if !num_or_null(v, "value") {
+                problems.push(format!("line {lineno}: metric \"value\" must be number or null"));
+            }
+        }
+        "aggregate" => {
+            counts[3] += 1;
+            check_obs_kind(v, "aggregate", lineno, problems);
+            check_obs_name(v, "aggregate", lineno, problems);
+        }
+        other => problems.push(format!("line {lineno}: unknown line type {other:?}")),
+    }
+}
+
+/// Validates a `--obs-out` JSONL trace: every line parses, matches one of
+/// the four schemas, and every span/metric name is within the
+/// `stage.subsystem.name` scheme. Exits nonzero on any violation.
+fn cmd_obs_validate(args: &Args) -> Result<String, CliError> {
+    let path = args.required(0, "path")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut problems: Vec<String> = Vec::new();
+    let mut counts = [0usize; 4];
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            problems.push(format!("line {lineno}: empty line"));
+            continue;
+        }
+        match serde_json::parse_value(line) {
+            Err(e) => problems.push(format!("line {lineno}: not valid JSON: {e}")),
+            Ok(v) => check_obs_line(&v, lineno, &mut counts, &mut problems),
+        }
+    }
+    if counts[0] != 1 {
+        problems.push(format!("expected exactly one meta line, found {}", counts[0]));
+    }
+    if problems.is_empty() {
+        Ok(format!(
+            "{path}: valid — {} span(s), {} metric sample(s), {} aggregate(s); \
+             all names within stage.subsystem.name\n",
+            counts[1], counts[2], counts[3]
+        ))
+    } else {
+        let mut report = String::new();
+        for p in &problems {
+            report.push_str(&format!("{path}: {p}\n"));
+        }
+        Err(CliError::ObsInvalid { report, problems: problems.len() })
+    }
 }
 
 fn cmd_lint(args: &Args) -> Result<String, CliError> {
@@ -695,6 +942,84 @@ mod tests {
         assert!(out.contains("warp population"));
         assert!(out.contains("representative warp"));
         assert!(out.contains("divergence degree"));
+    }
+
+    #[test]
+    fn profile_appends_stage_report_and_recorder_tree() {
+        let out = run_ok(&["profile", "sdk_vectoradd", "--blocks", "4"]);
+        assert!(out.contains("== pipeline stages =="), "{out}");
+        assert!(out.contains("core.pipeline.cachesim"));
+        assert!(out.contains("core.pipeline.predict"));
+        assert!(out.contains("== recorder =="));
+        assert!(out.contains("spans (wall clock):"));
+        assert!(out.contains("core.pipeline.analyze"));
+        assert!(out.contains("counters:"));
+    }
+
+    /// A unique temp path for tests that write files.
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gpumech-cli-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn obs_out_writes_a_trace_that_validates() {
+        let path = tmp_path("predict.jsonl");
+        let path_s = path.to_string_lossy().to_string();
+        let out = run_ok(&["predict", "sdk_vectoradd", "--blocks", "4", "--obs-out", &path_s]);
+        assert!(out.contains("observability trace written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"type\":\"meta\""));
+        assert!(text.contains("\"type\":\"span\""));
+        let verdict = run_ok(&["obs-validate", &path_s]);
+        assert!(verdict.contains("valid"), "{verdict}");
+        assert!(verdict.contains("all names within stage.subsystem.name"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn profile_chrome_out_is_trace_event_json() {
+        let path = tmp_path("profile.trace.json");
+        let path_s = path.to_string_lossy().to_string();
+        let out = run_ok(&["profile", "sdk_vectoradd", "--blocks", "4", "--chrome-out", &path_s]);
+        assert!(out.contains("Chrome trace written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn obs_validate_rejects_bad_names_and_schema() {
+        let path = tmp_path("bad.jsonl");
+        let path_s = path.to_string_lossy().to_string();
+        std::fs::write(
+            &path,
+            "{\"type\":\"meta\",\"version\":1,\"dropped_samples\":0,\"invalid_names\":[]}\n\
+             {\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"NotAValidName\",\
+              \"thread\":0,\"start_ns\":0,\"dur_ns\":5,\"attrs\":{}}\n\
+             {\"type\":\"metric\",\"kind\":\"thermometer\",\"name\":\"a.b.c\",\
+              \"value\":1,\"ts_ns\":0,\"span\":null}\n\
+             not json\n",
+        )
+        .unwrap();
+        let e = run_err(&["obs-validate", &path_s]);
+        let CliError::ObsInvalid { report, problems } = e else {
+            panic!("expected ObsInvalid, got {e:?}");
+        };
+        assert_eq!(problems, 3, "{report}");
+        assert!(report.contains("outside the stage.subsystem.name scheme"));
+        assert!(report.contains("thermometer"));
+        assert!(report.contains("not valid JSON"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn obs_validate_requires_path_and_existing_file() {
+        assert!(matches!(run_err(&["obs-validate"]), CliError::Args(_)));
+        assert!(matches!(
+            run_err(&["obs-validate", "/no/such/file.jsonl"]),
+            CliError::Io(_)
+        ));
     }
 
     #[test]

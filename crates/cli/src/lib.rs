@@ -14,7 +14,9 @@
 //! * `compare <kernel>` — all five Table II models vs the oracle,
 //! * `stacks <kernel>` — CPI stacks across warp counts,
 //! * `lint [kernel|all]` — static analysis of the kernel IR
-//!   (reconvergence correctness, dataflow, divergence, coalescing).
+//!   (reconvergence correctness, dataflow, divergence, coalescing),
+//! * `obs-validate <path>` — check an `--obs-out` JSON-lines trace
+//!   against the exporter schema and the `stage.subsystem.name` scheme.
 
 pub mod args;
 pub mod commands;
@@ -37,9 +39,12 @@ COMMANDS:
     simulate <kernel>            run the cycle-level oracle
     compare <kernel>             all five models vs the oracle
     stacks <kernel>              CPI stacks across warp counts
-    profile <kernel>             interval-profile and warp-population statistics
+    profile <kernel>             interval-profile, warp-population, and per-stage
+                                 pipeline statistics (always records observability)
     intervals <kernel>           dump the representative warp's intervals (--limit N)
     lint [kernel|all]            statically analyze kernel IR (default: all 40)
+    obs-validate <path>          check an --obs-out JSONL trace against the
+                                 exporter schema and naming scheme
     help                         this text
 
 COMMON FLAGS:
@@ -56,6 +61,12 @@ PREDICT FLAGS:
 
 TRACE FLAGS:
     --json PATH       write the full trace as JSON
+
+OBSERVABILITY FLAGS:
+    --obs-out PATH    write a JSON-lines recorder trace (predict, simulate,
+                      compare, stacks, profile, intervals)
+    --chrome-out PATH write a Chrome trace_event JSON (profile only); load
+                      it in chrome://tracing or Perfetto
 
 LINT FLAGS:
     --format F        text|json (default text)

@@ -17,6 +17,13 @@ fn main() -> ExitCode {
             eprintln!("error: lint found {errors} error-severity finding(s)");
             ExitCode::FAILURE
         }
+        // Same shape for trace validation: full problem list, then the
+        // one-line error and a nonzero exit.
+        Err(CliError::ObsInvalid { report, problems }) => {
+            print!("{report}");
+            eprintln!("error: observability trace failed validation with {problems} problem(s)");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -39,6 +39,7 @@ const MAX_ITERS: usize = 100;
 #[must_use]
 pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
     assert!(!points.is_empty(), "kmeans2 requires at least one point");
+    let _span = gpumech_obs::span!("core.kmeans.cluster", points = points.len());
 
     let degenerate_input =
         points.iter().any(|p| !p.perf.is_finite() || !p.insts.is_finite());
@@ -60,15 +61,26 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
     let mut converged = false;
     for it in 0..MAX_ITERS {
         iterations = it + 1;
-        let mut changed = false;
+        let mut changed = 0u64;
         for (i, p) in points.iter().enumerate() {
             let c = u8::from(p.dist2(&centroids[1]) < p.dist2(&centroids[0]));
             if assignment[i] != c {
                 assignment[i] = c;
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed && it > 0 {
+        // Per-iteration convergence series; inertia (within-cluster sum of
+        // squared distances) is only computed when a recorder is listening.
+        if gpumech_obs::enabled() {
+            gpumech_obs::counter!("core.kmeans.reassignments", changed);
+            let inertia: f64 = points
+                .iter()
+                .zip(&assignment)
+                .map(|(p, &a)| p.dist2(&centroids[a as usize]))
+                .sum();
+            gpumech_obs::gauge!("core.kmeans.inertia", inertia);
+        }
+        if changed == 0 && it > 0 {
             converged = true;
             break;
         }
@@ -81,6 +93,7 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
                 // farthest from the other centroid so the next assignment
                 // pass can repopulate it (a stale centroid would otherwise
                 // drift arbitrarily far from the data).
+                gpumech_obs::counter!("core.kmeans.reseeds", 1u64);
                 let other = centroids[1 - c as usize];
                 if let Some(far) = points
                     .iter()
@@ -122,6 +135,10 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
         .map_or(0, |(i, _)| i);
 
     let degenerate = degenerate_input || !converged;
+    gpumech_obs::counter!("core.kmeans.iterations", iterations as u64);
+    if degenerate {
+        gpumech_obs::counter!("core.kmeans.degenerate", 1u64);
+    }
     KmeansResult { assignment, centroids, majority, representative, iterations, degenerate }
 }
 

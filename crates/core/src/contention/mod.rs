@@ -144,6 +144,11 @@ pub fn contention_cpi_with(
     // SFU throughput roofline (extension; see `sfu_cpi`).
     let cpi_sfu = sfu_cpi(profile, cfg, cpi_multithreading + cpi_mshr + dram.cpi);
 
+    if gpumech_obs::enabled() {
+        gpumech_obs::gauge!("core.contention.mshr_cpi", cpi_mshr);
+        gpumech_obs::gauge!("core.contention.queue_cpi", dram.cpi);
+        gpumech_obs::gauge!("core.contention.sfu_cpi", cpi_sfu);
+    }
     ContentionResult {
         cpi: cpi_mshr + dram.cpi + cpi_sfu,
         cpi_mshr,

@@ -228,6 +228,18 @@ impl CpiStack {
         // SFU serialization is compute-resource pressure; Table III has no
         // SFU row, so it reports under DEP (zero at the Table I default).
         stack.dep += rc.cpi_sfu;
+        // Component provenance: which Table III row each modeled cycle
+        // landed in, as observed series.
+        if gpumech_obs::enabled() {
+            gpumech_obs::gauge!("core.cpistack.base", stack.base);
+            gpumech_obs::gauge!("core.cpistack.dep", stack.dep);
+            gpumech_obs::gauge!("core.cpistack.l1", stack.l1);
+            gpumech_obs::gauge!("core.cpistack.l2", stack.l2);
+            gpumech_obs::gauge!("core.cpistack.dram", stack.dram);
+            gpumech_obs::gauge!("core.cpistack.mshr", stack.mshr);
+            gpumech_obs::gauge!("core.cpistack.queue", stack.queue);
+            gpumech_obs::gauge!("core.cpistack.total", stack.total());
+        }
         stack
     }
 }

@@ -51,7 +51,7 @@ pub use cluster::{feature_vectors, kmeans2, select_representative, SelectionMeth
 pub use contention::{contention_cpi, ContentionOptions, ContentionResult};
 pub use cpistack::{CpiStack, StallCategory};
 pub use interval::{build_profile, summarize_population, Interval, IntervalProfile, PopulationSummary, ProfileSummary, StallCause};
-pub use model::{Gpumech, Model, ModelError, Prediction};
+pub use model::{Analysis, Gpumech, Model, ModelError, Prediction};
 pub use multiwarp::{multithreading_cpi, MultithreadingResult};
 
 // Re-export the vocabulary types callers need alongside the model.

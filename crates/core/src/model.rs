@@ -4,8 +4,11 @@
 
 use std::fmt;
 
+use std::time::Instant;
+
 use gpumech_isa::{ConfigError, SchedulingPolicy, SimConfig};
 use gpumech_mem::{simulate_hierarchy, MemStats};
+use gpumech_obs::{PipelineReport, StageReport};
 use gpumech_trace::{KernelTrace, TraceError, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +103,10 @@ pub struct Analysis {
     pub profiles: Vec<IntervalProfile>,
     /// Warps resident per core under the analyzed configuration.
     pub effective_warps: usize,
+    /// Per-stage wall time + key counters of this analysis run. Stage
+    /// equality ignores wall time, so [`Analysis`] comparisons stay
+    /// meaningful across runs.
+    pub stages: Vec<StageReport>,
 }
 
 /// The model's output for one kernel.
@@ -125,6 +132,11 @@ pub struct Prediction {
     /// non-empty when the pipeline downgraded itself (e.g. k-means
     /// degenerated and a population-weighted selection was used instead).
     pub warnings: Vec<String>,
+    /// Per-stage wall time + key counters for the pipeline run that
+    /// produced this prediction. Absent (empty) in predictions serialized
+    /// before this field existed.
+    #[serde(default)]
+    pub report: PipelineReport,
 }
 
 impl Prediction {
@@ -211,18 +223,49 @@ impl Gpumech {
     ///
     /// Returns [`ModelError::InvalidConfig`] or [`ModelError::EmptyKernel`].
     pub fn analyze(&self, trace: &KernelTrace) -> Result<Analysis, ModelError> {
+        let _span = gpumech_obs::span!(
+            "core.pipeline.analyze",
+            name = trace.name.as_str(),
+            warps = trace.warps.len(),
+        );
         self.cfg.validate().map_err(ModelError::InvalidConfig)?;
         trace.validate().map_err(ModelError::Trace)?;
         if trace.total_insts() == 0 {
             return Err(ModelError::EmptyKernel);
         }
+        let mut stages = Vec::new();
+
+        let t0 = Instant::now();
         let mem = simulate_hierarchy(trace, &self.cfg);
-        let profiles: Vec<IntervalProfile> =
-            trace.warps.iter().map(|w| build_profile(w, &self.cfg, &mem)).collect();
+        let mut stage = StageReport::new("core.pipeline.cachesim");
+        stage.wall_ns = elapsed_ns(t0);
+        let (mem_insts, dram_reqs) = mem
+            .load_pcs()
+            .chain(mem.store_pcs())
+            .filter_map(|pc| mem.pc_stats(pc))
+            .fold((0u64, 0u64), |(i, d), s| (i + s.insts, d + s.dram_reqs));
+        stage.counter("mem_insts", mem_insts);
+        stage.counter("dram_reqs", dram_reqs);
+        stages.push(stage);
+
+        let t0 = Instant::now();
+        let profiles: Vec<IntervalProfile> = {
+            let _span = gpumech_obs::span!("core.pipeline.intervals", warps = trace.warps.len());
+            trace.warps.iter().map(|w| build_profile(w, &self.cfg, &mem)).collect()
+        };
+        let mut stage = StageReport::new("core.pipeline.intervals");
+        stage.wall_ns = elapsed_ns(t0);
+        stage.counter("profiles", profiles.len() as u64);
+        stage.counter(
+            "intervals",
+            profiles.iter().map(|p| p.intervals.len() as u64).sum::<u64>(),
+        );
+        stages.push(stage);
+
         let effective_warps = (trace.launch.blocks_per_core(self.cfg.max_warps_per_core)
             * trace.launch.warps_per_block())
         .min(trace.launch.total_warps());
-        Ok(Analysis { mem, profiles, effective_warps })
+        Ok(Analysis { mem, profiles, effective_warps, stages })
     }
 
     /// Predicts from a precomputed [`Analysis`] — cheap enough to call for
@@ -241,8 +284,10 @@ impl Gpumech {
         selection: SelectionMethod,
     ) -> Prediction {
         if selection == SelectionMethod::Clustering {
+            let t0 = Instant::now();
             let feats = crate::cluster::feature_vectors(&analysis.profiles);
             let km = crate::cluster::kmeans2(&feats);
+            let select = select_stage(&km, feats.len(), elapsed_ns(t0));
             if km.degenerate {
                 // Graceful degradation: the cluster structure is unreliable
                 // (non-finite features or Lloyd non-convergence), so blend
@@ -255,7 +300,9 @@ impl Gpumech {
                 );
                 return p;
             }
-            return self.predict_profile(analysis, km.representative, policy, model);
+            let mut p = self.predict_profile(analysis, km.representative, policy, model);
+            insert_before_predict(&mut p.report, select);
+            return p;
         }
         let rep = select_representative(&analysis.profiles, selection);
         self.predict_profile(analysis, rep, policy, model)
@@ -276,6 +323,12 @@ impl Gpumech {
         policy: SchedulingPolicy,
         model: Model,
     ) -> Prediction {
+        let _span = gpumech_obs::span!(
+            "core.pipeline.predict",
+            representative = rep,
+            warps = analysis.effective_warps,
+        );
+        let t0 = Instant::now();
         let profile = &analysis.profiles[rep];
         let warps = analysis.effective_warps.max(1);
         let n_intervals = profile.intervals.len();
@@ -324,6 +377,13 @@ impl Gpumech {
         };
 
         let cpi = CpiStack::multi_warp(profile, &analysis.mem, &mt, &rc);
+        let mut report = PipelineReport { stages: analysis.stages.clone() };
+        let mut stage = StageReport::new("core.pipeline.predict");
+        stage.wall_ns = elapsed_ns(t0);
+        stage.counter("intervals", n_intervals as u64);
+        stage.counter("warps_per_core", warps as u64);
+        stage.counter("representative", rep as u64);
+        report.push(stage);
         Prediction {
             model,
             policy,
@@ -334,6 +394,7 @@ impl Gpumech {
             multithreading: mt,
             contention: rc,
             warnings: Vec::new(),
+            report,
         }
     }
 
@@ -357,8 +418,10 @@ impl Gpumech {
         policy: SchedulingPolicy,
         model: Model,
     ) -> Prediction {
+        let t0 = Instant::now();
         let feats = crate::cluster::feature_vectors(&analysis.profiles);
         let km = crate::cluster::kmeans2(&feats);
+        let select = select_stage(&km, feats.len(), elapsed_ns(t0));
         let n = feats.len();
 
         // Per-cluster representative: the member nearest its centroid.
@@ -401,8 +464,36 @@ impl Gpumech {
         let mut p =
             blended.unwrap_or_else(|| self.predict_profile(analysis, km.representative, policy, model));
         p.representative = km.representative;
+        insert_before_predict(&mut p.report, select);
         p
     }
+}
+
+/// Saturating nanoseconds since `t0`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Builds the `core.pipeline.select` stage digest from a clustering run.
+fn select_stage(km: &crate::cluster::KmeansResult, points: usize, wall_ns: u64) -> StageReport {
+    let mut stage = StageReport::new("core.pipeline.select");
+    stage.wall_ns = wall_ns;
+    stage.counter("points", points as u64);
+    stage.counter("iterations", km.iterations as u64);
+    stage.counter("degenerate", u64::from(km.degenerate));
+    stage.counter("representative", km.representative as u64);
+    stage
+}
+
+/// Inserts `stage` just before the trailing `core.pipeline.predict` entry
+/// so reports read in execution order.
+fn insert_before_predict(report: &mut PipelineReport, stage: StageReport) {
+    let at = report
+        .stages
+        .iter()
+        .position(|s| s.name == "core.pipeline.predict")
+        .unwrap_or(report.stages.len());
+    report.stages.insert(at, stage);
 }
 
 /// Scales a prediction's additive components by `weight` (helper for the

@@ -84,6 +84,12 @@ pub fn multithreading_cpi(
         let cycles = cycles.max(num_warps as f64 * total_insts / profile.issue_rate);
         cycles / (num_warps as f64 * total_insts)
     };
+    if gpumech_obs::enabled() {
+        gpumech_obs::gauge!("core.multiwarp.cpi", cpi);
+        gpumech_obs::gauge!("core.multiwarp.nonoverlap", total_nonoverlapped);
+        gpumech_obs::gauge!("core.multiwarp.issue_prob", issue_prob);
+        gpumech_obs::gauge!("core.multiwarp.warps", num_warps as f64);
+    }
     MultithreadingResult { cpi, total_nonoverlapped, per_interval, num_warps }
 }
 

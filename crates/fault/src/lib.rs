@@ -87,6 +87,10 @@ fn classify<E: std::fmt::Display>(f: impl FnOnce() -> Result<f64, E>) -> Outcome
 /// scheduling — the path that exercises the most numeric code.
 #[must_use]
 pub fn run_pipeline(trace: &KernelTrace, cfg: &SimConfig) -> Outcome {
+    // The span closes even when the pipeline panics: guards unwind out of
+    // `catch_unwind`, which is exactly what the suite's no-leaked-spans
+    // assertion checks.
+    let _span = gpumech_obs::span!("fault.case.pipeline");
     classify(|| {
         let model = Gpumech::new(cfg.clone());
         let p = model.predict_trace(
@@ -103,7 +107,26 @@ pub fn run_pipeline(trace: &KernelTrace, cfg: &SimConfig) -> Outcome {
 /// result.
 #[must_use]
 pub fn run_oracle(trace: &KernelTrace, cfg: &SimConfig) -> Outcome {
+    let _span = gpumech_obs::span!("fault.case.oracle");
     classify(|| simulate(trace, cfg, SchedulingPolicy::RoundRobin).map(|r| r.cpi()))
+}
+
+/// Records one classified fault case through the installed recorder — a
+/// no-op when observability is disabled. Emits a `fault.case.classified`
+/// span tagged with the mutator and runner, a `fault.case.total` counter,
+/// and a per-[`Outcome`] tally (`fault.outcome.cpi` /
+/// `fault.outcome.typed_error` / `fault.outcome.panic`).
+pub fn record_case(mutator: &str, runner: &str, outcome: &Outcome) {
+    if !gpumech_obs::enabled() {
+        return;
+    }
+    let _span = gpumech_obs::span!("fault.case.classified", mutator = mutator, runner = runner);
+    gpumech_obs::counter!("fault.case.total", 1u64);
+    match outcome {
+        Outcome::Cpi(_) => gpumech_obs::counter!("fault.outcome.cpi", 1u64),
+        Outcome::TypedError(_) => gpumech_obs::counter!("fault.outcome.typed_error", 1u64),
+        Outcome::Panic(_) => gpumech_obs::counter!("fault.outcome.panic", 1u64),
+    }
 }
 
 /// A deterministic corruption of a `(trace, config)` pair, driven by a

@@ -8,17 +8,36 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 use gpumech_fault::{
-    restore_panic_output, run_oracle, run_pipeline, silence_panic_output, Outcome, MUTATORS,
+    record_case, restore_panic_output, run_oracle, run_pipeline, silence_panic_output, Outcome,
+    MUTATORS,
 };
 use gpumech_isa::SimConfig;
+use gpumech_obs::Recorder;
 use gpumech_trace::{splitmix64, workloads};
+
+/// Serializes the suite's tests: the recorder slot is process-global, and
+/// the open-spans assertion below must not observe another test's
+/// in-flight spans.
+static SUITE_LOCK: Mutex<()> = Mutex::new(());
+
+fn suite_lock() -> std::sync::MutexGuard<'static, ()> {
+    SUITE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 #[test]
 fn no_mutation_panics_the_pipeline_or_oracle() {
+    let _serial = suite_lock();
     silence_panic_output();
     let all = workloads::all();
     assert_eq!(all.len(), 40, "the bundled workload suite changed size");
+
+    // Every case runs under an installed recorder; panicking cases must
+    // still unwind their spans closed (asserted at the bottom).
+    let rec = Arc::new(Recorder::new());
+    let installed = gpumech_obs::install(Arc::clone(&rec));
 
     let mut cases = 0usize;
     let mut typed_errors = 0usize;
@@ -38,6 +57,7 @@ fn no_mutation_panics_the_pipeline_or_oracle() {
                 [("pipeline", run_pipeline(&t, &cfg)), ("oracle", run_oracle(&t, &cfg))]
             {
                 cases += 1;
+                record_case(name, runner_name, &outcome);
                 match &outcome {
                     Outcome::TypedError(_) => typed_errors += 1,
                     Outcome::Cpi(c) if c.is_finite() && *c >= 0.0 => finite_cpis += 1,
@@ -52,6 +72,22 @@ fn no_mutation_panics_the_pipeline_or_oracle() {
     }
 
     restore_panic_output();
+
+    // Observability accounting: all cases flowed through the recorder, and
+    // no span survived its case — not even the ones that panicked inside
+    // `catch_unwind`.
+    assert_eq!(rec.open_spans(), 0, "fault cases leaked open spans");
+    let snap = rec.snapshot();
+    let total = snap.counters.get("fault.case.total").map_or(0, |c| c.total);
+    assert_eq!(total as usize, cases, "every case must be recorded");
+    let tallied: u64 = ["fault.outcome.cpi", "fault.outcome.typed_error", "fault.outcome.panic"]
+        .iter()
+        .filter_map(|n| snap.counters.get(n).map(|c| c.total))
+        .sum();
+    assert_eq!(tallied, total, "outcome tallies must partition the cases");
+    assert!(snap.invalid_names.is_empty(), "bad metric names: {:?}", snap.invalid_names);
+    drop(installed);
+
     assert!(failures.is_empty(), "contract violations:\n{}", failures.join("\n"));
     assert!(cases >= 400, "suite shrank to {cases} cases");
     assert!(
@@ -67,6 +103,7 @@ fn no_mutation_panics_the_pipeline_or_oracle() {
 
 #[test]
 fn suite_is_deterministic_across_runs() {
+    let _serial = suite_lock();
     silence_panic_output();
     let w = workloads::by_name("bfs_kernel1").expect("bundled").with_blocks(2);
     let trace = w.trace().expect("traces cleanly");
@@ -93,6 +130,7 @@ fn suite_is_deterministic_across_runs() {
 /// arithmetic deep inside the models.
 #[test]
 fn extreme_configs_yield_typed_errors() {
+    let _serial = suite_lock();
     silence_panic_output();
     let w = workloads::by_name("sdk_vectoradd").expect("bundled").with_blocks(2);
     let trace = w.trace().expect("traces cleanly");

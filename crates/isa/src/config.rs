@@ -326,6 +326,15 @@ impl SimConfig {
     /// (`MAX_*` associated constants) within which the models stay
     /// numerically stable.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        gpumech_obs::counter!("isa.config.validations", 1u64);
+        let result = self.validate_impl();
+        if result.is_err() {
+            gpumech_obs::counter!("isa.config.rejections", 1u64);
+        }
+        result
+    }
+
+    fn validate_impl(&self) -> Result<(), ConfigError> {
         if self.num_cores == 0 {
             return Err(ConfigError::ZeroField("num_cores"));
         }

@@ -50,6 +50,11 @@ impl Cursor<'_> {
 /// launch geometry.
 #[must_use]
 pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
+    let _span = gpumech_obs::span!(
+        "mem.cachesim.simulate",
+        name = trace.name.as_str(),
+        warps = trace.warps.len(),
+    );
     assert!(cfg.validate().is_ok(), "invalid SimConfig");
     let launch: LaunchConfig = trace.launch;
     let line = cfg.l1.line_bytes as u64;
@@ -156,7 +161,36 @@ pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
             }
         }
     }
+    record_hierarchy_metrics(&stats);
     stats
+}
+
+/// Emits the per-run `mem.cachesim.*` series from the finished statistics
+/// table. A no-op (one branch) when no recorder is installed.
+fn record_hierarchy_metrics(stats: &MemStats) {
+    if !gpumech_obs::enabled() {
+        return;
+    }
+    let mut l1_hits = 0u64;
+    let mut l2_hits = 0u64;
+    let mut l2_misses = 0u64;
+    let mut mshr_reqs = 0u64;
+    let mut dram_reqs = 0u64;
+    for pc in stats.load_pcs().chain(stats.store_pcs()) {
+        let Some(s) = stats.pc_stats(pc) else { continue };
+        l1_hits += s.l1_hit_insts;
+        l2_hits += s.l2_hit_insts;
+        l2_misses += s.l2_miss_insts;
+        mshr_reqs += s.mshr_reqs;
+        dram_reqs += s.dram_reqs;
+        gpumech_obs::histogram!("mem.cachesim.reqs_per_inst", s.reqs_per_inst());
+    }
+    gpumech_obs::counter!("mem.cachesim.l1_hits", l1_hits);
+    gpumech_obs::counter!("mem.cachesim.l2_hits", l2_hits);
+    gpumech_obs::counter!("mem.cachesim.l2_misses", l2_misses);
+    gpumech_obs::counter!("mem.cachesim.mshr_reqs", mshr_reqs);
+    gpumech_obs::counter!("mem.cachesim.dram_reqs", dram_reqs);
+    gpumech_obs::gauge!("mem.cachesim.avg_miss_latency", stats.avg_miss_latency());
 }
 
 #[cfg(test)]

@@ -1,0 +1,77 @@
+//! Monotonic time sources for the recorder.
+//!
+//! Timestamps are nanoseconds since an arbitrary per-source epoch (the
+//! process start for [`RealClock`], zero for [`FakeClock`]). Exporters
+//! only ever use differences and orderings, so the epoch never leaks into
+//! output — which is what makes the fake clock's output byte-stable for
+//! golden tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch. Must be monotonic
+    /// non-decreasing across calls from any thread.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time relative to the first observation in the process.
+#[derive(Debug, Default)]
+pub struct RealClock;
+
+/// Shared epoch so timestamps from independently created recorders are
+/// mutually comparable within one process.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+impl Clock for RealClock {
+    fn now_ns(&self) -> u64 {
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Deterministic clock for golden tests: every call returns the previous
+/// value plus a fixed step, starting at zero.
+#[derive(Debug)]
+pub struct FakeClock {
+    step_ns: u64,
+    next: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock advancing `step_ns` nanoseconds per observation.
+    #[must_use]
+    pub fn new(step_ns: u64) -> Self {
+        Self { step_ns, next: AtomicU64::new(0) }
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(self.step_ns, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock;
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_steps_deterministically() {
+        let c = FakeClock::new(1_000);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 1_000);
+        assert_eq!(c.now_ns(), 2_000);
+    }
+}

@@ -1,0 +1,436 @@
+//! The thread-safe event sink behind the `span!`/`counter!`/`gauge!`/
+//! `histogram!` macros.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::clock::{Clock, FakeClock, RealClock};
+use crate::AttrValue;
+
+/// Cap on stored metric samples: a runaway emitter degrades to dropped
+/// samples (counted in [`Snapshot::dropped_samples`]) instead of
+/// unbounded memory growth. Aggregates keep updating past the cap.
+pub const MAX_SAMPLES: usize = 1 << 20;
+
+/// Upper bounds of the fixed histogram buckets (`value <= bound`); the
+/// last bucket is the `+inf` overflow.
+pub const HISTOGRAM_BUCKETS: [f64; 12] = [
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1024.0,
+    f64::INFINITY,
+];
+
+/// One recorded span: a named wall-clock region with optional parent and
+/// attributes. `end_ns` is `None` while the span is open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Recorder-unique id (allocation order, starting at 1).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (`stage.subsystem.name` scheme).
+    pub name: &'static str,
+    /// Attributes captured at entry.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Small per-process thread index (not the OS thread id).
+    pub thread: u64,
+    /// Start timestamp.
+    pub start_ns: u64,
+    /// End timestamp; `None` while open.
+    pub end_ns: Option<u64>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (`None` while open).
+    #[must_use]
+    pub fn dur_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+/// Which metric family a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count (increments).
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+    /// Distribution observation.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lowercase name used by the JSON-lines exporter.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One timestamped metric observation (the series shape of the export).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric family.
+    pub kind: MetricKind,
+    /// Metric name (`stage.subsystem.name` scheme).
+    pub name: &'static str,
+    /// Observed value (counter increments are exact up to 2^53).
+    pub value: f64,
+    /// Observation timestamp.
+    pub ts_ns: u64,
+    /// Id of the span open on the emitting thread, if any.
+    pub span: Option<u64>,
+}
+
+/// Running total of one counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterAgg {
+    /// Sum of all increments.
+    pub total: u64,
+    /// Number of increments.
+    pub count: u64,
+}
+
+/// Running aggregate of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeAgg {
+    /// Most recent observation.
+    pub last: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Running fixed-bucket aggregate of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramAgg {
+    /// Per-bucket observation counts, aligned with [`HISTOGRAM_BUCKETS`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS.len()],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl Default for HistogramAgg {
+    fn default() -> Self {
+        Self { buckets: [0; HISTOGRAM_BUCKETS.len()], count: 0, sum: 0.0 }
+    }
+}
+
+/// Everything a recorder captured, in a stable order: spans by id,
+/// samples in emission order, aggregates sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// All spans, open and closed, in id order.
+    pub spans: Vec<SpanRecord>,
+    /// Metric samples in emission order (capped at [`MAX_SAMPLES`]).
+    pub samples: Vec<MetricSample>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, CounterAgg>,
+    /// Gauge aggregates by name.
+    pub gauges: BTreeMap<&'static str, GaugeAgg>,
+    /// Histogram aggregates by name.
+    pub hists: BTreeMap<&'static str, HistogramAgg>,
+    /// Samples discarded after the [`MAX_SAMPLES`] cap was hit.
+    pub dropped_samples: u64,
+    /// Names that violate the `stage.subsystem.name` scheme, with the
+    /// offenders recorded so exports are debuggable rather than silently
+    /// wrong. `gpumech obs-validate` fails on any of these.
+    pub invalid_names: Vec<&'static str>,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanRecord>,
+    samples: Vec<MetricSample>,
+    counters: BTreeMap<&'static str, CounterAgg>,
+    gauges: BTreeMap<&'static str, GaugeAgg>,
+    hists: BTreeMap<&'static str, HistogramAgg>,
+    dropped_samples: u64,
+    invalid_names: Vec<&'static str>,
+    open_spans: usize,
+}
+
+impl Inner {
+    fn check_name(&mut self, name: &'static str) {
+        if !crate::valid_metric_name(name) && !self.invalid_names.contains(&name) {
+            self.invalid_names.push(name);
+        }
+    }
+
+    fn push_sample(&mut self, sample: MetricSample) {
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(sample);
+        } else {
+            self.dropped_samples += 1;
+        }
+    }
+}
+
+/// A thread-safe observability sink. Usually installed process-wide via
+/// [`crate::install`]; exporters and tests can also drive one directly.
+pub struct Recorder {
+    clock: Box<dyn Clock>,
+    next_span: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder on the real monotonic clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_clock(Box::new(RealClock))
+    }
+
+    /// A recorder on a deterministic fake clock advancing `step_ns` per
+    /// observation (golden tests).
+    #[must_use]
+    pub fn fake(step_ns: u64) -> Self {
+        Self::with_clock(Box::new(FakeClock::new(step_ns)))
+    }
+
+    /// A recorder on an explicit clock.
+    #[must_use]
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Self { clock, next_span: AtomicU64::new(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current timestamp of the recorder's clock.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Opens a span; returns its id. [`crate::SpanGuard`] drives this with
+    /// the thread-local stack; it is public so tests and tools can build
+    /// fully deterministic snapshots (explicit parent and thread) on a
+    /// fake clock — the golden-file tests do exactly that.
+    pub fn start_span(
+        &self,
+        name: &'static str,
+        attrs: Vec<(&'static str, AttrValue)>,
+        parent: Option<u64>,
+        thread: u64,
+    ) -> u64 {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let start_ns = self.clock.now_ns();
+        let mut inner = self.lock();
+        inner.check_name(name);
+        inner.open_spans += 1;
+        inner.spans.push(SpanRecord { id, parent, name, attrs, thread, start_ns, end_ns: None });
+        id
+    }
+
+    /// Closes the span with `id` (idempotent for unknown ids).
+    pub fn end_span(&self, id: u64) {
+        let end_ns = self.clock.now_ns();
+        let mut inner = self.lock();
+        // Spans close in LIFO order per thread, so the open span is almost
+        // always near the tail.
+        if let Some(span) =
+            inner.spans.iter_mut().rev().find(|s| s.id == id && s.end_ns.is_none())
+        {
+            span.end_ns = Some(end_ns);
+            inner.open_spans = inner.open_spans.saturating_sub(1);
+        }
+    }
+
+    /// Records a counter increment.
+    pub fn counter(&self, name: &'static str, value: u64) {
+        let ts_ns = self.clock.now_ns();
+        let span = crate::span::current_span_id();
+        let mut inner = self.lock();
+        inner.check_name(name);
+        let agg = inner.counters.entry(name).or_default();
+        agg.total = agg.total.saturating_add(value);
+        agg.count += 1;
+        inner.push_sample(MetricSample {
+            kind: MetricKind::Counter,
+            name,
+            value: value as f64,
+            ts_ns,
+            span,
+        });
+    }
+
+    /// Records a gauge observation. Non-finite values are counted but do
+    /// not disturb min/max/last (the export must stay valid JSON).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        let ts_ns = self.clock.now_ns();
+        let span = crate::span::current_span_id();
+        let mut inner = self.lock();
+        inner.check_name(name);
+        let agg = inner.gauges.entry(name).or_insert(GaugeAgg {
+            last: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        });
+        agg.count += 1;
+        if value.is_finite() {
+            agg.last = value;
+            agg.min = agg.min.min(value);
+            agg.max = agg.max.max(value);
+        }
+        inner.push_sample(MetricSample { kind: MetricKind::Gauge, name, value, ts_ns, span });
+    }
+
+    /// Records a histogram observation into the fixed buckets.
+    pub fn histogram(&self, name: &'static str, value: f64) {
+        let ts_ns = self.clock.now_ns();
+        let span = crate::span::current_span_id();
+        let mut inner = self.lock();
+        inner.check_name(name);
+        let agg = inner.hists.entry(name).or_default();
+        let bucket = HISTOGRAM_BUCKETS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(HISTOGRAM_BUCKETS.len() - 1);
+        agg.buckets[bucket] += 1;
+        agg.count += 1;
+        if value.is_finite() {
+            agg.sum += value;
+        }
+        inner.push_sample(MetricSample { kind: MetricKind::Histogram, name, value, ts_ns, span });
+    }
+
+    /// Number of spans started but not yet closed — the fault suite
+    /// asserts this is zero after every error-path exit.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.lock().open_spans
+    }
+
+    /// A consistent copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            spans: inner.spans.clone(),
+            samples: inner.samples.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            hists: inner.hists.clone(),
+            dropped_samples: inner.dropped_samples,
+            invalid_names: inner.invalid_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_and_sample() {
+        let r = Recorder::fake(1);
+        r.counter("test.agg.hits", 2);
+        r.counter("test.agg.hits", 3);
+        let s = r.snapshot();
+        let agg = s.counters["test.agg.hits"];
+        assert_eq!(agg.total, 5);
+        assert_eq!(agg.count, 2);
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.samples[0].value, 2.0);
+        assert!(s.invalid_names.is_empty());
+    }
+
+    #[test]
+    fn gauges_track_min_max_last_and_survive_nan() {
+        let r = Recorder::fake(1);
+        r.gauge("test.agg.level", 2.0);
+        r.gauge("test.agg.level", -1.0);
+        r.gauge("test.agg.level", f64::NAN);
+        r.gauge("test.agg.level", 0.5);
+        let g = r.snapshot().gauges["test.agg.level"];
+        assert_eq!(g.last, 0.5);
+        assert_eq!(g.min, -1.0);
+        assert_eq!(g.max, 2.0);
+        assert_eq!(g.count, 4);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let r = Recorder::fake(1);
+        for v in [0.5, 1.0, 1.5, 100.0, 1e9] {
+            r.histogram("test.agg.sizes", v);
+        }
+        let h = &r.snapshot().hists["test.agg.sizes"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.buckets[0], 2, "0.5 and 1.0 land in the <=1 bucket");
+        assert_eq!(h.buckets[1], 1, "1.5 lands in the <=2 bucket");
+        assert_eq!(h.buckets[7], 1, "100 lands in the <=128 bucket");
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS.len() - 1], 1, "1e9 overflows to +inf");
+        assert!((h.sum - (0.5 + 1.0 + 1.5 + 100.0 + 1e9)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_names_are_reported_not_dropped() {
+        let r = Recorder::fake(1);
+        r.counter("BadName", 1);
+        r.counter("BadName", 1);
+        r.counter("good.name.here", 1);
+        let s = r.snapshot();
+        assert_eq!(s.invalid_names, vec!["BadName"]);
+        assert_eq!(s.counters.len(), 2, "invalid names still record");
+    }
+
+    #[test]
+    fn sample_cap_drops_but_keeps_aggregating() {
+        let r = Recorder::fake(1);
+        // Exercise the cap without a million pushes: pre-fill the sample
+        // buffer to one below the cap, then emit twice.
+        {
+            let mut inner = r.lock();
+            let filler = MetricSample {
+                kind: MetricKind::Counter,
+                name: "test.cap.filler",
+                value: 1.0,
+                ts_ns: 0,
+                span: None,
+            };
+            inner.samples = vec![filler; MAX_SAMPLES - 1];
+        }
+        r.counter("test.cap.hits", 1); // lands in the last slot
+        r.counter("test.cap.hits", 1); // dropped
+        let s = r.snapshot();
+        assert_eq!(s.dropped_samples, 1);
+        assert_eq!(s.samples.len(), MAX_SAMPLES);
+        assert_eq!(s.counters["test.cap.hits"].total, 2, "aggregates keep updating");
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-stage pipeline reports that ride along on prediction results.
+//!
+//! A [`PipelineReport`] is a compact, serializable digest of one
+//! pipeline run: which stages ran, how long each took, and a few key
+//! counters per stage. It is deliberately much smaller than a recorder
+//! [`crate::Snapshot`] — it is meant to be embedded in prediction JSON,
+//! not to replace the exporters.
+
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage's digest: name, wall time, and key counters.
+///
+/// Equality ignores `wall_ns` so that value-level comparisons of
+/// predictions (e.g. "re-running analysis yields the same prediction")
+/// stay meaningful even though wall-clock time differs run to run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name in the `stage.subsystem.name` span scheme.
+    pub name: String,
+    /// Wall-clock nanoseconds the stage took. Excluded from equality.
+    pub wall_ns: u64,
+    /// Key counters for the stage, in emission order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl PartialEq for StageReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.counters == other.counters
+    }
+}
+
+impl StageReport {
+    /// A report for `name` with no counters yet.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), wall_ns: 0, counters: Vec::new() }
+    }
+
+    /// Appends one key counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Looks up a counter by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Per-stage wall time and key counters for one pipeline run.
+///
+/// Carried on `Prediction` (with `#[serde(default)]` so pre-existing
+/// serialized predictions still deserialize) and rendered by
+/// `gpumech profile` and the bench binaries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Stage digests in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage digest.
+    pub fn push(&mut self, stage: StageReport) {
+        self.stages.push(stage);
+    }
+
+    /// Sum of all stages' wall time in nanoseconds.
+    #[must_use]
+    pub fn total_wall_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Looks up a stage by exact name.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Renders an aligned per-stage table (name, wall time, counters).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.stages {
+            let ms = s.wall_ns as f64 / 1e6;
+            let counters: Vec<String> =
+                s.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            let _ = writeln!(out, "  {:<28} {ms:>9.3} ms  {}", s.name, counters.join(" "));
+        }
+        let _ = writeln!(out, "  {:<28} {:>9.3} ms", "total", self.total_wall_ns() as f64 / 1e6);
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        let mut report = PipelineReport::new();
+        let mut s = StageReport::new("core.pipeline.cachesim");
+        s.wall_ns = 1_500_000;
+        s.counter("l1_hits", 10);
+        s.counter("l2_misses", 3);
+        report.push(s);
+        let mut s = StageReport::new("core.pipeline.intervals");
+        s.wall_ns = 500_000;
+        s.counter("profiles", 4);
+        report.push(s);
+        report
+    }
+
+    #[test]
+    fn equality_ignores_wall_time() {
+        let a = sample();
+        let mut b = sample();
+        b.stages[0].wall_ns = 999;
+        assert_eq!(a, b);
+        b.stages[0].counters[0].1 = 11;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_counters() {
+        let report = sample();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PipelineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(back.stage("core.pipeline.cachesim").unwrap().get("l1_hits"), Some(10));
+    }
+
+    #[test]
+    fn totals_and_render() {
+        let report = sample();
+        assert_eq!(report.total_wall_ns(), 2_000_000);
+        let text = report.render();
+        assert!(text.contains("core.pipeline.cachesim"));
+        assert!(text.contains("l1_hits=10"));
+        assert!(text.contains("total"));
+    }
+}

@@ -1,0 +1,96 @@
+//! RAII span guards and per-thread span-stack / thread-id bookkeeping.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::recorder::Recorder;
+use crate::AttrValue;
+
+/// Next small per-process thread index handed out by [`thread_index`].
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Small dense id for this thread (exports are nicer than OS ids).
+    static THREAD_INDEX: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// This thread's small dense index.
+fn thread_index() -> u64 {
+    THREAD_INDEX.with(|i| *i)
+}
+
+/// Id of the innermost open span on this thread, if any. Used to tag
+/// metric samples with their emitting span.
+pub(crate) fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// RAII guard for one span: created by [`crate::span!`], closes the span
+/// when dropped — including during unwinding, which is what guarantees
+/// error paths never leak open spans.
+#[must_use = "binding the guard keeps the span open; `let _ = span!()` closes it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when tracing was disabled at entry (the cheap path).
+    active: Option<(Arc<Recorder>, u64)>,
+}
+
+impl SpanGuard {
+    /// Opens a span on the installed recorder; a no-op guard when
+    /// observability is disabled.
+    pub fn enter(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> Self {
+        let Some(rec) = crate::installed() else {
+            return Self { active: None };
+        };
+        let parent = current_span_id();
+        let id = rec.start_span(name, attrs, parent, thread_index());
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        Self { active: Some((rec, id)) }
+    }
+
+    /// An inert guard (used by the `span!` macro's disabled branch).
+    pub fn disabled() -> Self {
+        Self { active: None }
+    }
+
+    /// The span's recorder-unique id, if it is recording.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|(_, id)| *id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((rec, id)) = self.active.take() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Guards drop LIFO per thread; defend against a forgotten
+                // inner guard by popping through to our own id.
+                while let Some(top) = stack.pop() {
+                    if top == id {
+                        break;
+                    }
+                }
+            });
+            rec.end_span(id);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let g = SpanGuard::disabled();
+        assert_eq!(g.id(), None);
+        drop(g);
+        assert_eq!(current_span_id(), None);
+    }
+}

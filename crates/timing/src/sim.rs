@@ -123,6 +123,11 @@ fn simulate_impl(
     policy: SchedulingPolicy,
     with_log: bool,
 ) -> Result<(TimingResult, Option<Vec<Vec<u64>>>), SimError> {
+    let _span = gpumech_obs::span!(
+        "timing.oracle.simulate",
+        name = trace.name.as_str(),
+        warps = trace.warps.len(),
+    );
     cfg.validate().map_err(SimError::InvalidConfig)?;
     trace.validate().map_err(SimError::MalformedTrace)?;
 
@@ -189,17 +194,20 @@ fn simulate_impl(
     } else {
         None
     };
-    Ok((
-        TimingResult {
-            cycles: cycle,
-            insts,
-            num_cores: cfg.num_cores,
-            per_core_insts,
-            dram_requests: dram.requests(),
-            dram_utilization: if cycle == 0 { 0.0 } else { dram.busy_time() / cycle as f64 },
-        },
-        log,
-    ))
+    let result = TimingResult {
+        cycles: cycle,
+        insts,
+        num_cores: cfg.num_cores,
+        per_core_insts,
+        dram_requests: dram.requests(),
+        dram_utilization: if cycle == 0 { 0.0 } else { dram.busy_time() / cycle as f64 },
+    };
+    gpumech_obs::counter!("timing.oracle.cycles", result.cycles);
+    gpumech_obs::counter!("timing.oracle.insts", result.insts);
+    gpumech_obs::counter!("timing.oracle.dram_requests", result.dram_requests);
+    gpumech_obs::gauge!("timing.oracle.dram_utilization", result.dram_utilization);
+    gpumech_obs::gauge!("timing.oracle.cpi", result.cpi());
+    Ok((result, log))
 }
 
 #[cfg(test)]

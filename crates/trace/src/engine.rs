@@ -266,8 +266,9 @@ impl<'k> WarpMachine<'k> {
         t
     }
 
-    fn run(mut self) -> Result<WarpTrace, TraceError> {
+    fn run(mut self) -> Result<(WarpTrace, RunStats), TraceError> {
         let mut insts: Vec<TraceInst> = Vec::new();
+        let mut stats = RunStats::default();
 
         while let Some(&top) = self.stack.last() {
             if top.pc == top.reconv {
@@ -360,6 +361,11 @@ impl<'k> WarpMachine<'k> {
                     };
                     let reconv = inst.reconv;
                     let Some(frame) = self.stack.last_mut() else { break };
+                    if taken != 0 && fall != 0 {
+                        stats.divergent_branches += 1;
+                    } else {
+                        stats.uniform_branches += 1;
+                    }
                     match (taken != 0, fall != 0) {
                         (true, false) => frame.pc = target,
                         (false, true) => frame.pc += 1,
@@ -415,11 +421,32 @@ impl<'k> WarpMachine<'k> {
             }
         }
 
-        Ok(WarpTrace {
-            warp: self.warp,
-            block: self.launch.block_of_warp(self.warp),
-            insts,
-        })
+        Ok((
+            WarpTrace {
+                warp: self.warp,
+                block: self.launch.block_of_warp(self.warp),
+                insts,
+            },
+            stats,
+        ))
+    }
+}
+
+/// Branch-behaviour tallies from one warp's functional execution,
+/// aggregated per kernel before being emitted as `trace.engine.*`
+/// counters (so the hot loop only bumps plain integers).
+#[derive(Debug, Clone, Copy, Default)]
+struct RunStats {
+    /// Conditional branches where active lanes split both ways.
+    divergent_branches: u64,
+    /// Branch executions where every active lane agreed.
+    uniform_branches: u64,
+}
+
+impl RunStats {
+    fn absorb(&mut self, other: RunStats) {
+        self.divergent_branches += other.divergent_branches;
+        self.uniform_branches += other.uniform_branches;
     }
 }
 
@@ -466,7 +493,12 @@ pub fn trace_warp(
     warp: WarpId,
 ) -> Result<WarpTrace, TraceError> {
     let analysis = pre_trace_analysis(kernel)?;
-    WarpMachine::new(kernel, &analysis, TraceOptions::default(), launch, warp).run()
+    let (trace, stats) =
+        WarpMachine::new(kernel, &analysis, TraceOptions::default(), launch, warp).run()?;
+    gpumech_obs::counter!("trace.engine.insts", trace.insts.len() as u64);
+    gpumech_obs::counter!("trace.engine.divergent_branches", stats.divergent_branches);
+    gpumech_obs::counter!("trace.engine.uniform_branches", stats.uniform_branches);
+    Ok(trace)
 }
 
 /// Functionally executes every warp of a launch and returns the full kernel
@@ -492,11 +524,25 @@ pub fn trace_kernel_opts(
     launch: LaunchConfig,
     opts: TraceOptions,
 ) -> Result<KernelTrace, TraceError> {
+    let _span = gpumech_obs::span!("trace.engine.kernel", name = kernel.name.as_str());
     let analysis = pre_trace_analysis(kernel)?;
+    let mut stats = RunStats::default();
     let warps = launch
         .warps()
-        .map(|w| WarpMachine::new(kernel, &analysis, opts, launch, w).run())
+        .map(|w| {
+            WarpMachine::new(kernel, &analysis, opts, launch, w).run().map(|(t, s)| {
+                stats.absorb(s);
+                t
+            })
+        })
         .collect::<Result<Vec<_>, _>>()?;
+    gpumech_obs::counter!("trace.engine.warps", warps.len() as u64);
+    gpumech_obs::counter!(
+        "trace.engine.insts",
+        warps.iter().map(|w| w.insts.len() as u64).sum::<u64>()
+    );
+    gpumech_obs::counter!("trace.engine.divergent_branches", stats.divergent_branches);
+    gpumech_obs::counter!("trace.engine.uniform_branches", stats.uniform_branches);
     Ok(KernelTrace { name: kernel.name.clone(), launch, warps })
 }
 

@@ -7,6 +7,7 @@
 //! - [`trace`] — SIMT functional simulator and the 40-kernel workload
 //!   library (the GPUOcelot substitute);
 //! - [`mem`] — coalescer, caches, and the functional hierarchy simulator;
+//! - [`obs`] — zero-dependency tracing, metrics, and pipeline profiling;
 //! - [`timing`] — the cycle-level validation oracle (MacSim substitute);
 //! - [`core`] — the interval-analysis performance model itself.
 //!
@@ -16,5 +17,6 @@ pub use gpumech_analyze as analyze;
 pub use gpumech_core as core;
 pub use gpumech_isa as isa;
 pub use gpumech_mem as mem;
+pub use gpumech_obs as obs;
 pub use gpumech_timing as timing;
 pub use gpumech_trace as trace;
