@@ -6,13 +6,22 @@
 #   2. full test suite
 #   3. clippy with warnings denied (includes the panic-free restriction
 #      lints: unwrap_used / expect_used / panic)
-#   4. fault-injection suite: every mutator over all 40 workloads must
-#      yield a typed error or a finite CPI — never a panic
-#   5. `gpumech lint` over the 40-workload library (nonzero exit on any
+#   4. rustdoc with warnings denied — any workspace call to a
+#      `#[deprecated]` predict* shim fails the build here
+#   5. fault-injection suite: every mutator over all 40 workloads must
+#      yield a typed error or a finite CPI — never a panic; plus the
+#      exec-layer suite (injected worker panics / poisoned queue)
+#   6. batch determinism: the parallel engine's output is byte-identical
+#      to the sequential pipeline over all 40 workloads (release, so the
+#      suite also exercises optimized codegen)
+#   7. parallel benchmark: sequential-vs-batch walls on both axes,
+#      recorded as results/BENCH_parallel.json
+#   8. `gpumech lint` over the 40-workload library (nonzero exit on any
 #      error-severity finding)
-#   6. observability round trip: `gpumech profile` writes a JSONL trace
+#   9. observability round trip: `gpumech profile` writes a JSONL trace
 #      and a Chrome trace, and `gpumech obs-validate` checks the JSONL
-#      against the exporter schema and the stage.subsystem.name scheme
+#      against the exporter schema and the stage.subsystem.name scheme —
+#      including a `gpumech batch --obs-out` trace with exec.* metrics
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,8 +34,18 @@ cargo test --workspace -q
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deprecation warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== fault injection =="
 cargo test -p gpumech-fault -q
+
+echo "== batch determinism =="
+cargo test -p gpumech-exec --release --test batch_determinism -q
+
+echo "== parallel benchmark =="
+cargo run --release -p gpumech-bench --bin bench_parallel -- \
+  --blocks 48 --json results/BENCH_parallel.json
 
 echo "== gpumech lint =="
 ./target/release/gpumech lint --min-severity warning
@@ -35,5 +54,8 @@ echo "== observability =="
 ./target/release/gpumech profile sdk_vectoradd --blocks 4 \
   --obs-out target/obs-ci.jsonl --chrome-out target/obs-ci.trace.json > /dev/null
 ./target/release/gpumech obs-validate target/obs-ci.jsonl
+./target/release/gpumech batch sdk_vectoradd bfs_kernel1 --blocks 4 \
+  --sweep bw=96,192 --obs-out target/obs-batch-ci.jsonl > /dev/null
+./target/release/gpumech obs-validate target/obs-batch-ci.jsonl
 
 echo "CI OK"

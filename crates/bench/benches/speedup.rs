@@ -7,7 +7,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use gpumech_bench::bench_wall;
-use gpumech_core::{Gpumech, Model, SelectionMethod};
+use gpumech_core::{Gpumech, PredictionRequest};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_timing::simulate;
 use gpumech_trace::workloads;
@@ -27,12 +27,7 @@ fn bench_kernel(name: &str) {
     let analysis_t = bench_wall("gpumech_analysis", 5, || model.analyze(&trace).expect("analysis"));
     let analysis = model.analyze(&trace).expect("analysis");
     let predict_t = bench_wall("gpumech_predict", 20, || {
-        model.predict_from_analysis(
-            &analysis,
-            SchedulingPolicy::RoundRobin,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        )
+        model.run(&PredictionRequest::from_analysis(&analysis)).expect("predict")
     });
     let speedup = oracle.as_secs_f64() / (analysis_t + predict_t).as_secs_f64();
     println!("  -> model speedup over oracle: {speedup:.1}x");

@@ -9,7 +9,7 @@
 //! Usage: `ablation_sfu [--blocks N]`
 
 use gpumech_core::contention::sfu_cpi;
-use gpumech_core::{Gpumech, Model, SchedulingPolicy, SelectionMethod};
+use gpumech_core::{Gpumech, PredictionRequest, SchedulingPolicy};
 use gpumech_isa::SimConfig;
 use gpumech_timing::simulate;
 use gpumech_trace::workloads;
@@ -41,12 +41,9 @@ fn main() {
                 .cpi();
             let model = Gpumech::new(cfg.clone());
             let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
-            let p = model.predict_from_analysis(
-                &analysis,
-                SchedulingPolicy::RoundRobin,
-                Model::MtMshrBand,
-                SelectionMethod::Clustering,
-            );
+            let p = model
+                .run(&PredictionRequest::from_analysis(&analysis))
+                .unwrap_or_else(|e| gpumech_bench::fail(format!("prediction failed: {e}")));
             let with_sfu = p.cpi_total();
             // "Without" removes the SFU share the stage contributed.
             let rep = &analysis.profiles[p.representative];

@@ -8,7 +8,7 @@
 //!
 //! Usage: `fig07_selection [--blocks N]`
 
-use gpumech_core::{Gpumech, Model, SelectionMethod};
+use gpumech_core::{Gpumech, PredictionRequest, SelectionMethod};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_timing::simulate;
 use gpumech_trace::workloads;
@@ -34,7 +34,9 @@ fn main() {
         let oracle = simulate(&trace, &cfg, policy).unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}"))).cpi();
         let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
         let err = |sel: SelectionMethod| {
-            let p = model.predict_from_analysis(&analysis, policy, Model::MtMshrBand, sel);
+            let p = model
+                .run(&PredictionRequest::from_analysis(&analysis).policy(policy).selection(sel))
+                .unwrap_or_else(|e| gpumech_bench::fail(format!("prediction failed: {e}")));
             (p.cpi_total() - oracle).abs() / oracle
         };
         rows.push((

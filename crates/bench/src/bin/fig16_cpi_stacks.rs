@@ -10,7 +10,7 @@
 //!
 //! Usage: `fig16_cpi_stacks [--blocks N]`
 
-use gpumech_core::{CpiStack, Gpumech, Model, SelectionMethod, StallCategory};
+use gpumech_core::{CpiStack, Gpumech, PredictionRequest, StallCategory};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_timing::simulate;
 use gpumech_trace::workloads;
@@ -37,12 +37,9 @@ fn main() {
             let oracle = simulate(&trace, &cfg, policy).unwrap_or_else(|e| gpumech_bench::fail(format!("oracle failed: {e}"))).cpi();
             let model = Gpumech::new(cfg);
             let analysis = model.analyze(&trace).unwrap_or_else(|e| gpumech_bench::fail(format!("analysis failed: {e}")));
-            let p = model.predict_from_analysis(
-                &analysis,
-                policy,
-                Model::MtMshrBand,
-                SelectionMethod::Clustering,
-            );
+            let p = model
+                .run(&PredictionRequest::from_analysis(&analysis).policy(policy))
+                .unwrap_or_else(|e| gpumech_bench::fail(format!("prediction failed: {e}")));
             rows.push((warps, p.cpi, oracle));
             eprintln!("  {}: warps={warps} done", w.name);
         }

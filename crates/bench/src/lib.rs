@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use gpumech_core::{Gpumech, Model, Prediction, SelectionMethod};
+use gpumech_core::{Gpumech, Model, Prediction, PredictionRequest, SelectionMethod};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_timing::{simulate, TimingResult};
 use gpumech_trace::{KernelTrace, Workload};
@@ -173,7 +173,15 @@ pub fn evaluate_trace(name: &str, trace: &KernelTrace, exp: &Experiment) -> Kern
     let t2 = Instant::now();
     let predictions: Vec<Prediction> = Model::ALL
         .iter()
-        .map(|&m| model.predict_from_analysis(&analysis, exp.policy, m, exp.selection))
+        .map(|&m| {
+            let req = PredictionRequest::from_analysis(&analysis)
+                .policy(exp.policy)
+                .model(m)
+                .selection(exp.selection);
+            model
+                .run(&req)
+                .unwrap_or_else(|e| fail(format_args!("{name}: prediction failed: {e}")))
+        })
         .collect();
     let predict_time = t2.elapsed();
 

@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use gpumech_bench::bench_wall;
-use gpumech_core::{Gpumech, Model, SchedulingPolicy, SelectionMethod};
+use gpumech_core::{Gpumech, PredictionRequest};
 use gpumech_isa::SimConfig;
 use gpumech_obs::Recorder;
 use gpumech_trace::{workloads, KernelTrace};
@@ -33,12 +33,7 @@ fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
 fn pipeline_once(trace: &KernelTrace) -> f64 {
     let model = Gpumech::new(SimConfig::table1());
     let p = model
-        .predict_trace(
-            trace,
-            SchedulingPolicy::RoundRobin,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        )
+        .run(&PredictionRequest::from_trace(trace))
         .expect("bundled workloads model cleanly");
     p.cpi_total()
 }

@@ -6,14 +6,15 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use gpumech_analyze::{analyze, KernelAnalysis, Severity};
 use gpumech_core::{
-    summarize_population, Gpumech, Model, Prediction, SchedulingPolicy, SelectionMethod,
-    StallCategory,
+    summarize_population, Gpumech, Model, Prediction, PredictionRequest, SchedulingPolicy,
+    SelectionMethod, StallCategory, Weighting,
 };
+use gpumech_exec::{BatchEngine, BatchJob, ProfileCache};
 use gpumech_isa::SimConfig;
 use gpumech_obs::Recorder;
 use gpumech_timing::simulate;
 use gpumech_trace::{workloads, Workload};
-use serde::Value;
+use serde::{Serialize, Value};
 
 use crate::args::{ArgError, Args};
 use crate::USAGE;
@@ -240,6 +241,14 @@ where
             )?;
             with_obs(&args, || cmd_intervals(&args))
         }
+        "batch" => {
+            let args = Args::parse(
+                rest,
+                &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection",
+                  "workers", "sweep", "json", "cache-dir", "obs-out"],
+            )?;
+            with_obs(&args, || cmd_batch(&args))
+        }
         "lint" => cmd_lint(&Args::parse(rest, &["format", "min-severity"])?),
         "obs-validate" => cmd_obs_validate(&Args::parse(rest, &[])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -342,6 +351,23 @@ fn render_prediction(p: &Prediction, header: &str) -> String {
     out
 }
 
+/// Parses `--selection max|min|clustering|weighted` into the request's
+/// (method, weighting) pair. `weighted` is clustering selection with
+/// population weighting, matching [`PredictionRequest::population_weighted`].
+fn selection_flags(args: &Args) -> Result<(SelectionMethod, Weighting), CliError> {
+    match args.flag("selection").unwrap_or("clustering") {
+        "max" => Ok((SelectionMethod::Max, Weighting::SingleRepresentative)),
+        "min" => Ok((SelectionMethod::Min, Weighting::SingleRepresentative)),
+        "clustering" => Ok((SelectionMethod::Clustering, Weighting::SingleRepresentative)),
+        "weighted" => Ok((SelectionMethod::Clustering, Weighting::PopulationWeighted)),
+        other => Err(CliError::BadChoice {
+            flag: "selection",
+            value: other.to_string(),
+            expected: "max|min|clustering|weighted",
+        }),
+    }
+}
+
 fn cmd_predict(args: &Args) -> Result<String, CliError> {
     let w = lookup(args)?;
     let cfg = machine_config(args)?;
@@ -350,21 +376,13 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
     let model = Gpumech::new(cfg);
     let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
-    let p = match args.flag("selection").unwrap_or("clustering") {
-        "max" => model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Max),
-        "min" => model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Min),
-        "clustering" => {
-            model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Clustering)
-        }
-        "weighted" => model.predict_weighted_clusters(&analysis, pol, kind),
-        other => {
-            return Err(CliError::BadChoice {
-                flag: "selection",
-                value: other.to_string(),
-                expected: "max|min|clustering|weighted",
-            })
-        }
-    };
+    let (sel, weighting) = selection_flags(args)?;
+    let req = PredictionRequest::from_analysis(&analysis)
+        .policy(pol)
+        .model(kind)
+        .selection(sel)
+        .weighting(weighting);
+    let p = model.run(&req).map_err(|e| CliError::Model(e.to_string()))?;
     Ok(render_prediction(&p, &format!("kernel: {} ({} policy, {})", w.name, pol, kind)))
 }
 
@@ -407,7 +425,9 @@ fn cmd_compare(args: &Args) -> Result<String, CliError> {
         "error"
     );
     for kind in Model::ALL {
-        let p = model.predict_from_analysis(&analysis, pol, kind, SelectionMethod::Clustering);
+        let p = model
+            .run(&PredictionRequest::from_analysis(&analysis).policy(pol).model(kind))
+            .map_err(|e| CliError::Model(e.to_string()))?;
         let err = (p.cpi_total() - oracle.cpi()).abs() / oracle.cpi();
         out.push_str(&format!(
             "{:<16}{:>10.3}{:>9.1}%\n",
@@ -433,17 +453,179 @@ fn cmd_stacks(args: &Args) -> Result<String, CliError> {
         let cfg = SimConfig::table1().with_warps_per_core(warps);
         let model = Gpumech::new(cfg);
         let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
-        let p = model.predict_from_analysis(
-            &analysis,
-            pol,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        );
+        let p = model
+            .run(&PredictionRequest::from_analysis(&analysis).policy(pol))
+            .map_err(|e| CliError::Model(e.to_string()))?;
         out.push_str(&format!("{warps:<8}"));
         for cat in StallCategory::ALL {
             out.push_str(&format!("{:>8.2}", p.cpi.get(cat)));
         }
         out.push_str(&format!("{:>10.2}\n", p.cpi_total()));
+    }
+    Ok(out)
+}
+
+/// One `--sweep AXIS=V1,V2,...` axis applied to the base configuration.
+/// Without the flag, the base configuration is the single point. Swept
+/// values are *not* validated here: the batch engine validates every job's
+/// full configuration and reports bad points as per-job errors, so one
+/// out-of-range sweep value cannot sink the rest of the batch.
+fn sweep_configs(args: &Args, base: &SimConfig) -> Result<Vec<(String, SimConfig)>, CliError> {
+    let Some(spec) = args.flag("sweep") else {
+        return Ok(vec![(String::new(), base.clone())]);
+    };
+    let bad = || CliError::BadChoice {
+        flag: "sweep",
+        value: spec.to_string(),
+        expected: "AXIS=V1,V2,... with AXIS one of warps|mshrs|bw|sfu",
+    };
+    let (axis, values) = spec.split_once('=').ok_or_else(bad)?;
+    let mut out = Vec::new();
+    for v in values.split(',').filter(|v| !v.is_empty()) {
+        let cfg = match axis {
+            "warps" => base.clone().with_warps_per_core(v.parse().map_err(|_| bad())?),
+            "mshrs" => base.clone().with_mshrs(v.parse().map_err(|_| bad())?),
+            "bw" => base.clone().with_dram_bandwidth(v.parse().map_err(|_| bad())?),
+            "sfu" => base.clone().with_sfu_per_core(v.parse().map_err(|_| bad())?),
+            _ => return Err(bad()),
+        };
+        out.push((format!(" @ {axis}={v}"), cfg));
+    }
+    if out.is_empty() {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+/// One row of the `--json` batch report.
+#[derive(Serialize)]
+struct BatchRow {
+    /// Job label (`kernel[ @ axis=value]`).
+    label: String,
+    /// Predicted CPI, absent when the job failed.
+    cpi: Option<f64>,
+    /// Predicted IPC, absent when the job failed.
+    ipc: Option<f64>,
+    /// The job's error, absent when it succeeded.
+    error: Option<String>,
+}
+
+/// Machine-readable batch report written by `--json`.
+#[derive(Serialize)]
+struct BatchReport {
+    /// Worker threads the pool ran with.
+    workers: usize,
+    /// Distinct (trace, cache-relevant config) analyses after the batch.
+    cache_entries: usize,
+    /// One row per job, in job order.
+    jobs: Vec<BatchRow>,
+}
+
+fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    let cfg = machine_config(args)?;
+    let pol = policy(args)?;
+    let kind = model_kind(args)?;
+    let (sel, weighting) = selection_flags(args)?;
+    let workers: usize = args.flag_or("workers", 4)?;
+    let blocks = args.flag_opt::<usize>("blocks")?;
+
+    // Kernel set: explicit names, or the whole catalogue for none/"all".
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 0;
+    while let Some(p) = args.positional(i) {
+        names.push(p.to_string());
+        i += 1;
+    }
+    let selected: Vec<Workload> = if names.is_empty() || names == ["all"] {
+        workloads::all()
+    } else {
+        names
+            .iter()
+            .map(|n| workloads::by_name(n).ok_or_else(|| CliError::UnknownKernel(n.clone())))
+            .collect::<Result<_, _>>()?
+    };
+
+    let points = sweep_configs(args, &cfg)?;
+    let mut jobs = Vec::with_capacity(selected.len() * points.len());
+    for w in &selected {
+        let w = match blocks {
+            Some(b) => w.clone().with_blocks(b),
+            None => w.clone(),
+        };
+        let trace =
+            Arc::new(w.trace().map_err(|e| CliError::Model(format!("{}: {e}", w.name)))?);
+        for (suffix, cfg) in &points {
+            let mut job =
+                BatchJob::new(format!("{}{suffix}", w.name), Arc::clone(&trace), cfg.clone());
+            job.policy = pol;
+            job.model = kind;
+            job.selection = sel;
+            job.weighting = weighting;
+            jobs.push(job);
+        }
+    }
+
+    let cache = match args.flag("cache-dir") {
+        Some(dir) => ProfileCache::with_disk(dir),
+        None => ProfileCache::in_memory(),
+    };
+    let engine = BatchEngine::with_cache(workers, cache);
+    let t0 = std::time::Instant::now();
+    let results = engine.run(&jobs);
+    let dt = t0.elapsed();
+
+    let mut out = format!(
+        "# batch: {} job(s) ({} kernel(s) x {} config(s)), workers={workers}\n\
+         {:<40}{:>10}{:>10}\n",
+        jobs.len(),
+        selected.len(),
+        points.len(),
+        "job",
+        "CPI",
+        "IPC"
+    );
+    let mut rows = Vec::with_capacity(jobs.len());
+    let mut failures = 0usize;
+    for (job, r) in jobs.iter().zip(&results) {
+        match r {
+            Ok(p) => {
+                out.push_str(&format!(
+                    "{:<40}{:>10.3}{:>10.3}\n",
+                    job.label,
+                    p.cpi_total(),
+                    p.ipc()
+                ));
+                rows.push(BatchRow {
+                    label: job.label.clone(),
+                    cpi: Some(p.cpi_total()),
+                    ipc: Some(p.ipc()),
+                    error: None,
+                });
+            }
+            Err(e) => {
+                failures += 1;
+                out.push_str(&format!("{:<40}  error: {e}\n", job.label));
+                rows.push(BatchRow {
+                    label: job.label.clone(),
+                    cpi: None,
+                    ipc: None,
+                    error: Some(e.to_string()),
+                });
+            }
+        }
+    }
+    out.push_str(&format!(
+        "# {} ok, {failures} failed; {} cached analysis(es); {dt:.2?} wall\n",
+        jobs.len() - failures,
+        engine.cache().len(),
+    ));
+    if let Some(path) = args.flag("json") {
+        let report =
+            BatchReport { workers, cache_entries: engine.cache().len(), jobs: rows };
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::Model(e.to_string()))?;
+        std::fs::write(path, json)?;
+        out.push_str(&format!("batch report written to {path}\n"));
     }
     Ok(out)
 }
@@ -457,12 +639,9 @@ fn profile_pipeline(
     let trace = w.trace().map_err(|e| CliError::Model(e.to_string()))?;
     let model = Gpumech::new(cfg);
     let analysis = model.analyze(&trace).map_err(|e| CliError::Model(e.to_string()))?;
-    let p = model.predict_from_analysis(
-        &analysis,
-        SchedulingPolicy::RoundRobin,
-        Model::MtMshrBand,
-        SelectionMethod::Clustering,
-    );
+    let p = model
+        .run(&PredictionRequest::from_analysis(&analysis))
+        .map_err(|e| CliError::Model(e.to_string()))?;
     Ok((analysis, p))
 }
 
@@ -1062,6 +1241,64 @@ mod tests {
             CliError::BadChoice { flag: "min-severity", .. }
         ));
         assert!(matches!(run_err(&["lint", "nope"]), CliError::UnknownKernel(_)));
+    }
+
+    #[test]
+    fn batch_sweeps_kernels_and_configs() {
+        let out = run_ok(&[
+            "batch", "sdk_vectoradd", "bfs_kernel1", "--blocks", "4", "--workers", "2",
+            "--sweep", "warps=8,32",
+        ]);
+        assert!(out.contains("4 job(s) (2 kernel(s) x 2 config(s)), workers=2"), "{out}");
+        assert!(out.contains("sdk_vectoradd @ warps=8"));
+        assert!(out.contains("bfs_kernel1 @ warps=32"));
+        assert!(out.contains("4 ok, 0 failed"));
+    }
+
+    #[test]
+    fn batch_json_report_is_machine_readable() {
+        let path = tmp_path("batch.json");
+        let path_s = path.to_string_lossy().to_string();
+        let out = run_ok(&[
+            "batch", "sdk_vectoradd", "--blocks", "4", "--workers", "2", "--json", &path_s,
+        ]);
+        assert!(out.contains("batch report written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = serde_json::parse_value(&text).unwrap();
+        assert_eq!(v.get_field("workers").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get_field("cache_entries").and_then(Value::as_u64), Some(1));
+        let Some(Value::Array(jobs)) = v.get_field("jobs") else {
+            panic!("jobs array missing: {text}");
+        };
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].get_field("cpi").and_then(Value::as_f64).unwrap() > 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_isolates_bad_sweep_points_per_job() {
+        // warps=0 fails validation for its job only; the good point and the
+        // other kernel still succeed.
+        let out = run_ok(&[
+            "batch", "sdk_vectoradd", "--blocks", "4", "--sweep", "warps=0,8",
+        ]);
+        assert!(out.contains("1 ok, 1 failed"), "{out}");
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("sdk_vectoradd @ warps=8"));
+    }
+
+    #[test]
+    fn batch_rejects_bad_arguments() {
+        assert!(matches!(run_err(&["batch", "no_such_kernel"]), CliError::UnknownKernel(_)));
+        for sweep in ["warps", "volts=1,2", "warps=abc", "warps="] {
+            assert!(
+                matches!(
+                    run_err(&["batch", "sdk_vectoradd", "--sweep", sweep]),
+                    CliError::BadChoice { flag: "sweep", .. }
+                ),
+                "sweep {sweep:?} should be rejected"
+            );
+        }
     }
 
     #[test]

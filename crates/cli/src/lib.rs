@@ -13,6 +13,8 @@
 //! * `simulate <kernel>` — cycle-level oracle run,
 //! * `compare <kernel>` — all five Table II models vs the oracle,
 //! * `stacks <kernel>` — CPI stacks across warp counts,
+//! * `batch [kernels...|all]` — parallel batch prediction across kernels
+//!   and swept configurations, with profile caching,
 //! * `lint [kernel|all]` — static analysis of the kernel IR
 //!   (reconvergence correctness, dataflow, divergence, coalescing),
 //! * `obs-validate <path>` — check an `--obs-out` JSON-lines trace
@@ -42,6 +44,8 @@ COMMANDS:
     profile <kernel>             interval-profile, warp-population, and per-stage
                                  pipeline statistics (always records observability)
     intervals <kernel>           dump the representative warp's intervals (--limit N)
+    batch [kernels...|all]       predict many kernels (and swept configurations)
+                                 in parallel with profile caching (default: all 40)
     lint [kernel|all]            statically analyze kernel IR (default: all 40)
     obs-validate <path>          check an --obs-out JSONL trace against the
                                  exporter schema and naming scheme
@@ -61,6 +65,13 @@ PREDICT FLAGS:
 
 TRACE FLAGS:
     --json PATH       write the full trace as JSON
+
+BATCH FLAGS:
+    --workers N       worker threads for the batch pool (default 4)
+    --sweep AXIS=A,B  sweep one machine axis (warps|mshrs|bw|sfu) across the
+                      listed values; each kernel is predicted at every point
+    --json PATH       write the batch results as machine-readable JSON
+    --cache-dir DIR   persist the profile cache to DIR across invocations
 
 OBSERVABILITY FLAGS:
     --obs-out PATH    write a JSON-lines recorder trace (predict, simulate,

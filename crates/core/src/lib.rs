@@ -24,16 +24,17 @@
 //!    (Equation 1) and the Chen-Aamodt Markov-chain model the paper
 //!    compares against (Section VIII-A).
 //!
-//! The one-stop entry point is [`Gpumech`]:
+//! The one-stop entry point is a [`PredictionRequest`] executed by
+//! [`Gpumech::run`]:
 //!
 //! ```
-//! use gpumech_core::{Gpumech, SchedulingPolicy};
+//! use gpumech_core::{Gpumech, PredictionRequest};
 //! use gpumech_isa::SimConfig;
 //! use gpumech_trace::workloads;
 //!
 //! let w = workloads::by_name("cfd_step_factor").ok_or("missing workload")?.with_blocks(16);
 //! let report = Gpumech::new(SimConfig::default())
-//!     .predict(&w, SchedulingPolicy::RoundRobin)?;
+//!     .run(&PredictionRequest::from_workload(&w))?;
 //! println!("CPI = {:.2}, of which DRAM queue = {:.2}",
 //!          report.cpi.total(), report.cpi.queue);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -46,6 +47,7 @@ pub mod cpistack;
 pub mod interval;
 pub mod model;
 pub mod multiwarp;
+pub mod request;
 
 pub use cluster::{feature_vectors, kmeans2, select_representative, SelectionMethod};
 pub use contention::{contention_cpi, ContentionOptions, ContentionResult};
@@ -53,6 +55,7 @@ pub use cpistack::{CpiStack, StallCategory};
 pub use interval::{build_profile, summarize_population, Interval, IntervalProfile, PopulationSummary, ProfileSummary, StallCause};
 pub use model::{Analysis, Gpumech, Model, ModelError, Prediction};
 pub use multiwarp::{multithreading_cpi, MultithreadingResult};
+pub use request::{PredictionRequest, Weighting};
 
 // Re-export the vocabulary types callers need alongside the model.
 pub use gpumech_isa::SchedulingPolicy;

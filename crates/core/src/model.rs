@@ -9,7 +9,7 @@ use std::time::Instant;
 use gpumech_isa::{ConfigError, SchedulingPolicy, SimConfig};
 use gpumech_mem::{simulate_hierarchy, MemStats};
 use gpumech_obs::{PipelineReport, StageReport};
-use gpumech_trace::{KernelTrace, TraceError, Workload};
+use gpumech_trace::{KernelTrace, TraceError, WarpTrace, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::baselines::{markov_chain_cpi, naive_interval_cpi};
@@ -18,6 +18,7 @@ use crate::contention::{contention_cpi, ContentionResult};
 use crate::cpistack::CpiStack;
 use crate::interval::{build_profile, IntervalProfile};
 use crate::multiwarp::{multithreading_cpi, MultithreadingResult};
+use crate::request::{PredictionRequest, Source, Weighting};
 
 /// The evaluated models of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,6 +63,13 @@ pub enum ModelError {
     InvalidConfig(ConfigError),
     /// The kernel produced no instructions to model.
     EmptyKernel,
+    /// A [`PredictionRequest`] combined options that contradict each other
+    /// (e.g. population weighting without clustering selection, or an
+    /// explicit representative outside the analyzed grid).
+    InvalidRequest(String),
+    /// An execution layer driving the model (worker pool, cache) failed
+    /// outside the model proper.
+    Execution(String),
 }
 
 impl fmt::Display for ModelError {
@@ -70,6 +78,8 @@ impl fmt::Display for ModelError {
             ModelError::Trace(e) => write!(f, "trace generation failed: {e}"),
             ModelError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             ModelError::EmptyKernel => f.write_str("kernel produced no instructions"),
+            ModelError::InvalidRequest(why) => write!(f, "invalid prediction request: {why}"),
+            ModelError::Execution(why) => write!(f, "execution failed: {why}"),
         }
     }
 }
@@ -79,7 +89,9 @@ impl std::error::Error for ModelError {
         match self {
             ModelError::Trace(e) => Some(e),
             ModelError::InvalidConfig(e) => Some(e),
-            ModelError::EmptyKernel => None,
+            ModelError::EmptyKernel
+            | ModelError::InvalidRequest(_)
+            | ModelError::Execution(_) => None,
         }
     }
 }
@@ -95,7 +107,10 @@ impl From<TraceError> for ModelError {
 /// the harnesses evaluate all five models (and both policies) per kernel —
 /// the same reuse the paper exploits when exploring hardware
 /// configurations (Section VI-D).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so execution layers can persist analyses in a
+/// content-addressed profile cache and reuse them across processes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Analysis {
     /// Per-PC cache statistics of the functional hierarchy simulation.
     pub mem: MemStats,
@@ -184,6 +199,66 @@ impl Gpumech {
         &self.cfg
     }
 
+    /// Executes a [`PredictionRequest`] — the single supported entry point
+    /// into the pipeline.
+    ///
+    /// The request's source decides how much of the pipeline runs: a
+    /// workload is traced first, a trace is analyzed first, and a
+    /// precomputed [`Analysis`] goes straight to representative selection
+    /// and the multi-warp + contention models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`], [`ModelError::Trace`], or
+    /// [`ModelError::EmptyKernel`] from the analysis stages, and
+    /// [`ModelError::InvalidRequest`] when the request's options
+    /// contradict each other: population weighting combined with a
+    /// non-clustering selection, population weighting of an explicit
+    /// profile, or a profile index outside the analyzed grid.
+    pub fn run(&self, request: &PredictionRequest<'_>) -> Result<Prediction, ModelError> {
+        if request.weighting == Weighting::PopulationWeighted {
+            if request.selection != SelectionMethod::Clustering {
+                return Err(ModelError::InvalidRequest(format!(
+                    "population weighting requires clustering selection, not {:?}",
+                    request.selection
+                )));
+            }
+            if matches!(request.source, Source::Profile { .. }) {
+                return Err(ModelError::InvalidRequest(
+                    "population weighting contradicts an explicit representative profile"
+                        .to_owned(),
+                ));
+            }
+        }
+        let owned: Analysis;
+        let analysis: &Analysis = match &request.source {
+            Source::Workload(w) => {
+                let trace = w.trace()?;
+                owned = self.analyze(&trace)?;
+                &owned
+            }
+            Source::Trace(t) => {
+                owned = self.analyze(t)?;
+                &owned
+            }
+            Source::Analysis(a) => a,
+            Source::Profile { analysis, .. } => analysis,
+        };
+        if let Source::Profile { rep, .. } = request.source {
+            if rep >= analysis.profiles.len() {
+                return Err(ModelError::InvalidRequest(format!(
+                    "representative {rep} out of range for an analysis of {} warps",
+                    analysis.profiles.len()
+                )));
+            }
+            return Ok(self.profile_prediction(analysis, rep, request.policy, request.model));
+        }
+        if request.weighting == Weighting::PopulationWeighted {
+            return Ok(self.weighted_prediction(analysis, request.policy, request.model));
+        }
+        Ok(self.selected_prediction(analysis, request.policy, request.model, request.selection))
+    }
+
     /// Full GPUMech prediction (MT_MSHR_BAND, clustering selection) for a
     /// workload.
     ///
@@ -191,20 +266,29 @@ impl Gpumech {
     ///
     /// Returns [`ModelError`] if the configuration is invalid, tracing
     /// fails, or the kernel is empty.
+    #[deprecated(since = "0.2.0", note = "build a `PredictionRequest` and call `Gpumech::run`")]
     pub fn predict(
         &self,
         workload: &Workload,
         policy: SchedulingPolicy,
     ) -> Result<Prediction, ModelError> {
         let trace = workload.trace()?;
-        self.predict_trace(&trace, policy, Model::MtMshrBand, SelectionMethod::Clustering)
+        let analysis = self.analyze(&trace)?;
+        Ok(self.selected_prediction(
+            &analysis,
+            policy,
+            Model::MtMshrBand,
+            SelectionMethod::Clustering,
+        ))
     }
 
     /// Prediction for an explicit Table II model and selection method.
     ///
     /// # Errors
     ///
-    /// See [`Gpumech::predict`].
+    /// Returns [`ModelError`] if the configuration is invalid or the
+    /// kernel is empty.
+    #[deprecated(since = "0.2.0", note = "build a `PredictionRequest` and call `Gpumech::run`")]
     pub fn predict_trace(
         &self,
         trace: &KernelTrace,
@@ -213,7 +297,7 @@ impl Gpumech {
         selection: SelectionMethod,
     ) -> Result<Prediction, ModelError> {
         let analysis = self.analyze(trace)?;
-        Ok(self.predict_from_analysis(&analysis, policy, model, selection))
+        Ok(self.selected_prediction(&analysis, policy, model, selection))
     }
 
     /// Runs the input collector (functional cache simulation) and the
@@ -223,6 +307,32 @@ impl Gpumech {
     ///
     /// Returns [`ModelError::InvalidConfig`] or [`ModelError::EmptyKernel`].
     pub fn analyze(&self, trace: &KernelTrace) -> Result<Analysis, ModelError> {
+        self.analyze_with(trace, |warps, cfg, mem| {
+            Ok(warps.iter().map(|w| build_profile(w, cfg, mem)).collect())
+        })
+    }
+
+    /// [`Gpumech::analyze`] with a pluggable per-warp profiler — the seam
+    /// that lets execution layers parallelize interval-profile
+    /// construction without this crate depending on them.
+    ///
+    /// `profiler` receives every warp of the validated trace plus the
+    /// shared cache statistics and must return one [`IntervalProfile`]
+    /// per warp, in warp order. The sequential [`Gpumech::analyze`] is
+    /// exactly this method with a serial `build_profile` loop, so a
+    /// profiler that computes the same profiles (in any execution order)
+    /// yields a bit-identical [`Analysis`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`], [`ModelError::Trace`], or
+    /// [`ModelError::EmptyKernel`] for invalid inputs; any error from
+    /// `profiler` is propagated, and a profiler returning the wrong
+    /// number of profiles surfaces as [`ModelError::Execution`].
+    pub fn analyze_with<F>(&self, trace: &KernelTrace, profiler: F) -> Result<Analysis, ModelError>
+    where
+        F: FnOnce(&[WarpTrace], &SimConfig, &MemStats) -> Result<Vec<IntervalProfile>, ModelError>,
+    {
         let _span = gpumech_obs::span!(
             "core.pipeline.analyze",
             name = trace.name.as_str(),
@@ -251,8 +361,15 @@ impl Gpumech {
         let t0 = Instant::now();
         let profiles: Vec<IntervalProfile> = {
             let _span = gpumech_obs::span!("core.pipeline.intervals", warps = trace.warps.len());
-            trace.warps.iter().map(|w| build_profile(w, &self.cfg, &mem)).collect()
+            profiler(&trace.warps, &self.cfg, &mem)?
         };
+        if profiles.len() != trace.warps.len() {
+            return Err(ModelError::Execution(format!(
+                "profiler returned {} profiles for {} warps",
+                profiles.len(),
+                trace.warps.len()
+            )));
+        }
         let mut stage = StageReport::new("core.pipeline.intervals");
         stage.wall_ns = elapsed_ns(t0);
         stage.counter("profiles", profiles.len() as u64);
@@ -275,8 +392,21 @@ impl Gpumech {
     ///
     /// Panics if the analysis contains no warps (cannot be produced by
     /// [`Gpumech::analyze`]).
+    #[deprecated(since = "0.2.0", note = "build a `PredictionRequest` and call `Gpumech::run`")]
     #[must_use]
     pub fn predict_from_analysis(
+        &self,
+        analysis: &Analysis,
+        policy: SchedulingPolicy,
+        model: Model,
+        selection: SelectionMethod,
+    ) -> Prediction {
+        self.selected_prediction(analysis, policy, model, selection)
+    }
+
+    /// Shared body of [`Gpumech::run`]'s analysis path and the deprecated
+    /// `predict_from_analysis` shim.
+    fn selected_prediction(
         &self,
         analysis: &Analysis,
         policy: SchedulingPolicy,
@@ -292,7 +422,7 @@ impl Gpumech {
                 // Graceful degradation: the cluster structure is unreliable
                 // (non-finite features or Lloyd non-convergence), so blend
                 // by population instead of trusting one representative.
-                let mut p = self.predict_weighted_clusters(analysis, policy, model);
+                let mut p = self.weighted_prediction(analysis, policy, model);
                 p.warnings.push(
                     "k-means clustering degenerated (non-finite features or no convergence); \
                      downgraded to population-weighted cluster selection"
@@ -300,12 +430,12 @@ impl Gpumech {
                 );
                 return p;
             }
-            let mut p = self.predict_profile(analysis, km.representative, policy, model);
+            let mut p = self.profile_prediction(analysis, km.representative, policy, model);
             insert_before_predict(&mut p.report, select);
             return p;
         }
         let rep = select_representative(&analysis.profiles, selection);
-        self.predict_profile(analysis, rep, policy, model)
+        self.profile_prediction(analysis, rep, policy, model)
     }
 
     /// Runs the multi-warp + contention models for one explicit warp's
@@ -315,8 +445,21 @@ impl Gpumech {
     /// # Panics
     ///
     /// Panics if `rep` is out of range for the analysis.
+    #[deprecated(since = "0.2.0", note = "build a `PredictionRequest` and call `Gpumech::run`")]
     #[must_use]
     pub fn predict_profile(
+        &self,
+        analysis: &Analysis,
+        rep: usize,
+        policy: SchedulingPolicy,
+        model: Model,
+    ) -> Prediction {
+        self.profile_prediction(analysis, rep, policy, model)
+    }
+
+    /// Shared body of [`Gpumech::run`]'s explicit-profile path and the
+    /// deprecated `predict_profile` shim.
+    fn profile_prediction(
         &self,
         analysis: &Analysis,
         rep: usize,
@@ -411,8 +554,24 @@ impl Gpumech {
     ///
     /// Linearity keeps Equation 3 intact: the blended stack still sums to
     /// the blended `CPI_mt + CPI_rc`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `PredictionRequest` with `.population_weighted()` and call `Gpumech::run`"
+    )]
     #[must_use]
     pub fn predict_weighted_clusters(
+        &self,
+        analysis: &Analysis,
+        policy: SchedulingPolicy,
+        model: Model,
+    ) -> Prediction {
+        self.weighted_prediction(analysis, policy, model)
+    }
+
+    /// Shared body of [`Gpumech::run`]'s population-weighted path, the
+    /// degenerate-clustering fallback, and the deprecated
+    /// `predict_weighted_clusters` shim.
+    fn weighted_prediction(
         &self,
         analysis: &Analysis,
         policy: SchedulingPolicy,
@@ -440,7 +599,7 @@ impl Gpumech {
             let size = km.assignment.iter().filter(|&&a| a == cluster).count();
             let Some(rep) = rep_of(cluster) else { continue };
             let weight = size as f64 / n as f64;
-            let p = self.predict_profile(analysis, rep, policy, model);
+            let p = self.profile_prediction(analysis, rep, policy, model);
             blended = Some(match blended {
                 None => weighted(&p, weight),
                 Some(acc) => {
@@ -461,8 +620,8 @@ impl Gpumech {
         }
         // At least one cluster is always populated; the fallback covers a
         // (theoretically unreachable) fully-empty assignment without a panic.
-        let mut p =
-            blended.unwrap_or_else(|| self.predict_profile(analysis, km.representative, policy, model));
+        let mut p = blended
+            .unwrap_or_else(|| self.profile_prediction(analysis, km.representative, policy, model));
         p.representative = km.representative;
         insert_before_predict(&mut p.report, select);
         p
@@ -528,7 +687,7 @@ mod tests {
     #[test]
     fn full_pipeline_produces_consistent_prediction() {
         let w = workloads::by_name("cfd_step_factor").unwrap().with_blocks(16);
-        let p = model().predict(&w, SchedulingPolicy::RoundRobin).unwrap();
+        let p = model().run(&PredictionRequest::from_workload(&w)).unwrap();
         assert_eq!(p.model, Model::MtMshrBand);
         assert!(p.cpi_total() >= 1.0, "core CPI below the issue bound: {}", p.cpi_total());
         assert!(p.single_warp_cpi > p.cpi_total(), "multithreading must help");
@@ -548,8 +707,7 @@ mod tests {
         let m = model();
         let a = m.analyze(&t).unwrap();
         let cpi = |mo: Model| {
-            m.predict_from_analysis(&a, SchedulingPolicy::RoundRobin, mo, SelectionMethod::Clustering)
-                .cpi_total()
+            m.run(&PredictionRequest::from_analysis(&a).model(mo)).unwrap().cpi_total()
         };
         let naive = cpi(Model::NaiveInterval);
         let mt = cpi(Model::Mt);
@@ -566,12 +724,7 @@ mod tests {
         let t = trace_of("sdk_vectoradd", 16);
         let m = model();
         let a = m.analyze(&t).unwrap();
-        let p = m.predict_from_analysis(
-            &a,
-            SchedulingPolicy::RoundRobin,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        );
+        let p = m.run(&PredictionRequest::from_analysis(&a)).unwrap();
         assert!(
             p.contention.cpi_mshr < 0.05 * p.cpi_total(),
             "coalesced loads fit the MSHR file: {} of {}",
@@ -584,16 +737,10 @@ mod tests {
     fn analysis_reuse_matches_direct_prediction() {
         let t = trace_of("parboil_spmv", 8);
         let m = model();
-        let direct = m
-            .predict_trace(&t, SchedulingPolicy::GreedyThenOldest, Model::MtMshrBand, SelectionMethod::Clustering)
-            .unwrap();
+        let policy = SchedulingPolicy::GreedyThenOldest;
+        let direct = m.run(&PredictionRequest::from_trace(&t).policy(policy)).unwrap();
         let a = m.analyze(&t).unwrap();
-        let reused = m.predict_from_analysis(
-            &a,
-            SchedulingPolicy::GreedyThenOldest,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        );
+        let reused = m.run(&PredictionRequest::from_analysis(&a).policy(policy)).unwrap();
         assert_eq!(direct, reused);
     }
 
@@ -634,14 +781,16 @@ mod tests {
         let t = trace_of("lud_diagonal", 16);
         let m = model();
         let a = m.analyze(&t).unwrap();
-        let policy = SchedulingPolicy::RoundRobin;
         let lo = m
-            .predict_from_analysis(&a, policy, Model::MtMshrBand, SelectionMethod::Max)
+            .run(&PredictionRequest::from_analysis(&a).selection(SelectionMethod::Max))
+            .unwrap()
             .cpi_total();
         let hi = m
-            .predict_from_analysis(&a, policy, Model::MtMshrBand, SelectionMethod::Min)
+            .run(&PredictionRequest::from_analysis(&a).selection(SelectionMethod::Min))
+            .unwrap()
             .cpi_total();
-        let blended = m.predict_weighted_clusters(&a, policy, Model::MtMshrBand);
+        let blended =
+            m.run(&PredictionRequest::from_analysis(&a).population_weighted()).unwrap();
         let (lo, hi) = (lo.min(hi), lo.max(hi));
         assert!(
             blended.cpi_total() >= lo - 1e-9 && blended.cpi_total() <= hi + 1e-9,
@@ -662,14 +811,9 @@ mod tests {
         let t = trace_of("sdk_vectoradd", 8);
         let m = model();
         let a = m.analyze(&t).unwrap();
-        let single = m.predict_from_analysis(
-            &a,
-            SchedulingPolicy::RoundRobin,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        );
+        let single = m.run(&PredictionRequest::from_analysis(&a)).unwrap();
         let blended =
-            m.predict_weighted_clusters(&a, SchedulingPolicy::RoundRobin, Model::MtMshrBand);
+            m.run(&PredictionRequest::from_analysis(&a).population_weighted()).unwrap();
         let rel = (blended.cpi_total() - single.cpi_total()).abs() / single.cpi_total();
         assert!(rel < 0.05, "homogeneous blend should match single: {rel}");
     }
@@ -679,18 +823,64 @@ mod tests {
         let t = trace_of("cfd_compute_flux", 16);
         let m = model();
         let a = m.analyze(&t).unwrap();
-        let rr = m.predict_from_analysis(
-            &a,
-            SchedulingPolicy::RoundRobin,
-            Model::Mt,
-            SelectionMethod::Clustering,
-        );
-        let gto = m.predict_from_analysis(
-            &a,
-            SchedulingPolicy::GreedyThenOldest,
-            Model::Mt,
-            SelectionMethod::Clustering,
-        );
+        let rr = m.run(&PredictionRequest::from_analysis(&a).model(Model::Mt)).unwrap();
+        let gto = m
+            .run(
+                &PredictionRequest::from_analysis(&a)
+                    .model(Model::Mt)
+                    .policy(SchedulingPolicy::GreedyThenOldest),
+            )
+            .unwrap();
         assert!(rr.cpi_total() >= 1.0 && gto.cpi_total() >= 1.0);
+    }
+
+    #[test]
+    fn contradictory_requests_are_rejected_before_any_work() {
+        let t = trace_of("sdk_vectoradd", 2);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let bad = PredictionRequest::from_analysis(&a)
+            .selection(SelectionMethod::Max)
+            .population_weighted();
+        assert!(matches!(m.run(&bad), Err(ModelError::InvalidRequest(_))));
+        let bad = PredictionRequest::from_profile(&a, 0).population_weighted();
+        assert!(matches!(m.run(&bad), Err(ModelError::InvalidRequest(_))));
+        let bad = PredictionRequest::from_profile(&a, a.profiles.len());
+        assert!(matches!(m.run(&bad), Err(ModelError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn explicit_profile_request_models_the_named_warp() {
+        let t = trace_of("bfs_kernel1", 4);
+        let m = model();
+        let a = m.analyze(&t).unwrap();
+        let p = m.run(&PredictionRequest::from_profile(&a, 3)).unwrap();
+        assert_eq!(p.representative, 3);
+        assert!(p.cpi_total() >= 1.0);
+    }
+
+    #[test]
+    fn analyze_with_custom_profiler_matches_sequential() {
+        let t = trace_of("parboil_spmv", 4);
+        let m = model();
+        let sequential = m.analyze(&t).unwrap();
+        // A profiler that builds the same profiles in reverse order still
+        // returns them in warp order, so the analyses must be equal.
+        let custom = m
+            .analyze_with(&t, |warps, cfg, mem| {
+                let mut profiles: Vec<_> =
+                    warps.iter().rev().map(|w| build_profile(w, cfg, mem)).collect();
+                profiles.reverse();
+                Ok(profiles)
+            })
+            .unwrap();
+        assert_eq!(sequential, custom);
+    }
+
+    #[test]
+    fn analyze_with_length_mismatch_is_an_execution_error() {
+        let t = trace_of("sdk_vectoradd", 2);
+        let err = model().analyze_with(&t, |_, _, _| Ok(Vec::new())).unwrap_err();
+        assert!(matches!(err, ModelError::Execution(_)));
     }
 }

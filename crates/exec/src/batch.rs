@@ -1,0 +1,284 @@
+//! The batch engine: many (kernel, configuration, options) points in,
+//! one [`Prediction`] (or typed error) per point out.
+//!
+//! A [`BatchJob`] is a self-contained descriptor of one pipeline run —
+//! the shape the paper's design-space exploration needs (Section VI-D:
+//! one trace swept across many hardware configurations). The engine runs
+//! jobs on the [`pool`](crate::pool), deduplicates analysis work through
+//! the [`ProfileCache`], and guarantees the batch output is bit-identical
+//! to running each job sequentially through
+//! [`Gpumech::run`]: predictions are pure functions of
+//! (trace, config, options), the pool publishes results by item index,
+//! and the cache returns value-equal analyses.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gpumech_core::{
+    build_profile, Gpumech, Model, ModelError, Prediction, PredictionRequest, SelectionMethod,
+    Weighting,
+};
+use gpumech_isa::{SchedulingPolicy, SimConfig};
+use gpumech_trace::KernelTrace;
+
+use crate::cache::{analysis_config_fingerprint, trace_fingerprint, CacheKey, ProfileCache};
+use crate::pool::{run_indexed, FaultInjection, PoolOptions};
+use crate::ExecError;
+
+/// One batch item: a kernel trace plus everything needed to predict it.
+///
+/// Traces are shared via `Arc` so a configuration sweep over one kernel
+/// costs one trace, not N clones.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Human-readable label carried into reports (e.g. `"bfs_kernel1 @ 32w"`).
+    pub label: String,
+    /// The kernel trace to model.
+    pub trace: Arc<KernelTrace>,
+    /// Machine configuration for this point.
+    pub cfg: SimConfig,
+    /// Warp scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// Table II model.
+    pub model: Model,
+    /// Representative-selection method.
+    pub selection: SelectionMethod,
+    /// Cluster weighting.
+    pub weighting: Weighting,
+}
+
+impl BatchJob {
+    /// A job with the paper's default options (round-robin, full
+    /// `MT_MSHR_BAND`, clustering selection, single representative).
+    #[must_use]
+    pub fn new(label: impl Into<String>, trace: Arc<KernelTrace>, cfg: SimConfig) -> Self {
+        Self {
+            label: label.into(),
+            trace,
+            cfg,
+            policy: SchedulingPolicy::RoundRobin,
+            model: Model::MtMshrBand,
+            selection: SelectionMethod::Clustering,
+            weighting: Weighting::SingleRepresentative,
+        }
+    }
+}
+
+/// Requested worker count clamped to the host: the pipeline is CPU-bound,
+/// so threads beyond [`std::thread::available_parallelism`] only add
+/// context-switch and allocator-contention overhead (measurably so on
+/// small hosts).
+fn effective_workers(requested: usize) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    requested.clamp(1, host)
+}
+
+/// Parallel batch executor with a shared [`ProfileCache`].
+///
+/// The configured worker count is a *ceiling*: the engine never runs more
+/// threads than the host exposes (see [`BatchEngine::effective_workers`]).
+/// [`pool::run_indexed`](crate::pool::run_indexed) itself spawns exactly
+/// what it is asked for — the clamp is engine policy, kept out of the pool
+/// so tests can still exercise real oversubscription.
+#[derive(Debug)]
+pub struct BatchEngine {
+    cache: ProfileCache,
+    workers: usize,
+}
+
+impl BatchEngine {
+    /// An engine with up to `workers` threads and a fresh in-memory cache.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self { cache: ProfileCache::in_memory(), workers }
+    }
+
+    /// An engine sharing an existing cache (e.g. a disk-backed one).
+    #[must_use]
+    pub fn with_cache(workers: usize, cache: ProfileCache) -> Self {
+        Self { cache, workers }
+    }
+
+    /// The engine's profile cache.
+    #[must_use]
+    pub fn cache(&self) -> &ProfileCache {
+        &self.cache
+    }
+
+    /// The configured (requested) worker ceiling.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker threads a batch actually runs with: the configured count
+    /// clamped to the host's available parallelism (never zero).
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        effective_workers(self.workers)
+    }
+
+    /// Runs every job, returning one outcome per job in job order.
+    ///
+    /// Failures are per-job: an invalid configuration, a model error, or
+    /// even a panicking worker surfaces as that job's [`ExecError`] while
+    /// the rest of the batch completes.
+    #[must_use]
+    pub fn run(&self, jobs: &[BatchJob]) -> Vec<Result<Prediction, ExecError>> {
+        self.run_with_injection(jobs, None)
+    }
+
+    /// [`BatchEngine::run`] with an optional deliberate fault, exposed for
+    /// the fault-injection suite (`None` on every production path).
+    #[must_use]
+    pub fn run_with_injection(
+        &self,
+        jobs: &[BatchJob],
+        inject: Option<FaultInjection>,
+    ) -> Vec<Result<Prediction, ExecError>> {
+        let _span = gpumech_obs::span!("exec.batch.run", jobs = jobs.len(), workers = self.workers);
+        // Fingerprint each distinct trace once, not once per job: a
+        // config sweep shares one `Arc`d trace across many jobs, and the
+        // trace fingerprint (a full-content hash) is a measurable
+        // fraction of an analysis. Distinct `Arc`s with equal content
+        // just recompute — the key is content-based either way.
+        let mut memo: HashMap<*const KernelTrace, u64> = HashMap::new();
+        let keys: Vec<CacheKey> = jobs
+            .iter()
+            .map(|job| CacheKey {
+                trace: *memo
+                    .entry(Arc::as_ptr(&job.trace))
+                    .or_insert_with(|| trace_fingerprint(&job.trace)),
+                config: analysis_config_fingerprint(&job.cfg),
+            })
+            .collect();
+        let opts = PoolOptions { workers: self.effective_workers(), inject };
+        run_indexed(&opts, jobs, |i, job| {
+            // Validate the *full* configuration before consulting the
+            // cache: the fingerprint deliberately ignores prediction-stage
+            // fields, so a NaN bandwidth must not ride in on a cache hit.
+            job.cfg.validate().map_err(|e| ExecError::Model(ModelError::InvalidConfig(e)))?;
+            let model = Gpumech::new(job.cfg.clone());
+            let analysis = self
+                .cache
+                .get_or_compute(keys[i], || model.analyze(&job.trace))?;
+            let request = PredictionRequest::from_analysis(&analysis)
+                .policy(job.policy)
+                .model(job.model)
+                .selection(job.selection)
+                .weighting(job.weighting);
+            model.run(&request).map_err(ExecError::Model)
+        })
+    }
+}
+
+/// Parallel per-warp analysis of a single kernel: interval profiles are
+/// built concurrently on the pool, cache simulation stays sequential (the
+/// shared L2 makes it a whole-trace computation), and the resulting
+/// [`Analysis`](gpumech_core::Analysis) is bit-identical to
+/// [`Gpumech::analyze`] because profiles are pure per-warp functions
+/// published in warp order.
+///
+/// # Errors
+///
+/// Exactly [`Gpumech::analyze`]'s errors, plus [`ModelError::Execution`]
+/// if a profiling worker panics.
+pub fn analyze_parallel(
+    model: &Gpumech,
+    trace: &KernelTrace,
+    workers: usize,
+) -> Result<gpumech_core::Analysis, ModelError> {
+    model.analyze_with(trace, |warps, cfg, mem| {
+        let opts = PoolOptions::new(effective_workers(workers));
+        let results = run_indexed(&opts, warps, |_, w| Ok(build_profile(w, cfg, mem)));
+        let mut profiles = Vec::with_capacity(results.len());
+        for r in results {
+            profiles.push(r.map_err(|e| ModelError::Execution(e.to_string()))?);
+        }
+        Ok(profiles)
+    })
+}
+
+/// Canonical JSON of a prediction for byte-identity assertions: wall-clock
+/// stage timings (the only nondeterministic bytes in a [`Prediction`]) are
+/// zeroed before serializing.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Execution`] if serialization fails (unreachable
+/// for predictions produced by this workspace).
+pub fn canonical_prediction_json(p: &Prediction) -> Result<String, ModelError> {
+    let mut canon = p.clone();
+    for stage in &mut canon.report.stages {
+        stage.wall_ns = 0;
+    }
+    serde_json::to_string(&canon).map_err(|e| ModelError::Execution(format!("serialize: {e}")))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use gpumech_trace::workloads;
+
+    fn job(name: &str, cfg: SimConfig) -> BatchJob {
+        let trace =
+            Arc::new(workloads::by_name(name).unwrap().with_blocks(2).trace().unwrap());
+        BatchJob::new(name, trace, cfg)
+    }
+
+    #[test]
+    fn batch_matches_sequential_run_per_job() {
+        let names = ["sdk_vectoradd", "bfs_kernel1", "kmeans_invert_mapping"];
+        let jobs: Vec<BatchJob> = names.iter().map(|n| job(n, SimConfig::default())).collect();
+        let engine = BatchEngine::new(2);
+        let batch = engine.run(&jobs);
+        for (j, got) in jobs.iter().zip(&batch) {
+            let model = Gpumech::new(j.cfg.clone());
+            let seq = model.run(&PredictionRequest::from_trace(&j.trace)).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(&seq, got, "{}", j.label);
+            assert_eq!(
+                canonical_prediction_json(&seq).unwrap(),
+                canonical_prediction_json(got).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn config_sweep_reuses_one_analysis_per_trace() {
+        let sweep: Vec<BatchJob> = [48.0, 96.0, 192.0]
+            .into_iter()
+            .map(|bw| {
+                job("cfd_step_factor", SimConfig { dram_bandwidth_gbps: bw, ..SimConfig::default() })
+            })
+            .collect();
+        let engine = BatchEngine::new(2);
+        let out = engine.run(&sweep);
+        assert!(out.iter().all(Result::is_ok));
+        // One trace, three prediction-only configs: exactly one cache entry.
+        assert_eq!(engine.cache().len(), 1);
+    }
+
+    #[test]
+    fn invalid_config_fails_only_its_job() {
+        let mut jobs =
+            vec![job("sdk_vectoradd", SimConfig::default()), job("bfs_kernel1", SimConfig::default())];
+        jobs[1].cfg.num_mshrs = 0;
+        let out = BatchEngine::new(2).run(&jobs);
+        assert!(out[0].is_ok());
+        assert!(matches!(&out[1], Err(ExecError::Model(ModelError::InvalidConfig(_)))));
+    }
+
+    #[test]
+    fn parallel_per_warp_analysis_is_bit_identical() {
+        let trace =
+            workloads::by_name("lud_diagonal").unwrap().with_blocks(4).trace().unwrap();
+        let model = Gpumech::new(SimConfig::default());
+        let seq = model.analyze(&trace).unwrap();
+        for workers in [1, 2, 8] {
+            let par = analyze_parallel(&model, &trace, workers).unwrap();
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Content-addressed cache of [`Analysis`] results.
+//!
+//! The expensive half of a GPUMech run — functional cache simulation plus
+//! per-warp interval profiles — depends only on the kernel trace and on
+//! the *analysis-relevant* subset of [`SimConfig`] (cache geometry,
+//! latencies, issue width, residency). The prediction-stage knobs the
+//! paper sweeps in its design-space exploration (DRAM bandwidth, MSHR
+//! count, SFU width, clock) do **not** feed the analysis, so a sweep over
+//! them can reuse one cached analysis per trace.
+//!
+//! The cache key is a pair of stable 64-bit content fingerprints (a
+//! lane-widened FNV-1a defined by this crate): the full trace content
+//! (via `#[derive(Hash)]` on the trace records) and the canonical JSON of
+//! a *normalized* configuration whose prediction-only fields are pinned
+//! to defaults. Entries live in memory behind `Arc`s; an optional disk
+//! directory persists them as JSON (vendored `serde_json`) across
+//! processes. Hits, misses, and disk traffic are observable through the
+//! `exec.cache.*` counters — the cache test asserts a warm second run
+//! does zero analysis work purely from those counters.
+
+use std::collections::HashMap;
+use std::fs;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gpumech_core::{Analysis, ModelError};
+use gpumech_isa::SimConfig;
+use gpumech_trace::KernelTrace;
+
+/// Stable, dependency-free content fingerprint: an FNV-1a variant that
+/// absorbs 64-bit lanes per multiply instead of single bytes, with a
+/// final avalanche.
+///
+/// Not `DefaultHasher`: that one is documented to vary across releases,
+/// which would silently invalidate on-disk caches on a toolchain bump.
+/// Not canonical byte-wise FNV-1a either: a trace fingerprint hashes
+/// every dynamic instruction (tens of megabytes for a full-size grid),
+/// and one multiply per byte made fingerprinting cost more than half of
+/// the analysis it deduplicates. The function is defined by this crate
+/// and must never change once released — on-disk cache filenames embed
+/// its output.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn absorb(&mut self, lane: u64) {
+        self.0 ^= lane;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: the lane-wide multiply alone never moves
+        // high input bits toward low output bits.
+        let mut h = self.0;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            // Little-endian on every platform, so fingerprints (and the
+            // disk-cache filenames derived from them) are portable.
+            self.absorb(u64::from_le_bytes(c.try_into().unwrap_or([0; 8])));
+        }
+        for &b in chunks.remainder() {
+            self.absorb(u64::from(b));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.absorb(u64::from(v));
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.absorb(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.absorb(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.absorb(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.absorb(v as u64);
+    }
+}
+
+/// Content fingerprint of a kernel trace (name, launch geometry, and
+/// every dynamic instruction).
+#[must_use]
+pub fn trace_fingerprint(trace: &KernelTrace) -> u64 {
+    let mut h = Fnv1a::new();
+    trace.hash(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of the analysis-relevant subset of a configuration.
+///
+/// Two configurations that differ only in prediction-stage fields (clock,
+/// DRAM bandwidth, MSHR count, scratchpad size, SFU width) produce the
+/// same fingerprint, because [`gpumech_core::Gpumech::analyze`] produces
+/// the same [`Analysis`] for them. Fields are hashed via the canonical
+/// JSON of a normalized configuration, so the fingerprint tracks the
+/// config schema instead of a hand-maintained field list.
+#[must_use]
+pub fn analysis_config_fingerprint(cfg: &SimConfig) -> u64 {
+    let normalized = SimConfig {
+        num_cores: cfg.num_cores,
+        simt_width: cfg.simt_width,
+        max_warps_per_core: cfg.max_warps_per_core,
+        issue_width: cfg.issue_width,
+        latencies: cfg.latencies,
+        l1: cfg.l1,
+        l2: cfg.l2,
+        dram_latency: cfg.dram_latency,
+        ..SimConfig::default()
+    };
+    let mut h = Fnv1a::new();
+    match serde_json::to_string(&normalized) {
+        Ok(json) => json.hash(&mut h),
+        // Unreachable for a plain config struct; fall back to hashing the
+        // Debug rendering rather than failing the whole cache.
+        Err(_) => format!("{normalized:?}").hash(&mut h),
+    }
+    h.finish()
+}
+
+/// A cache key: (trace content, analysis-relevant configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`trace_fingerprint`] of the kernel trace.
+    pub trace: u64,
+    /// [`analysis_config_fingerprint`] of the machine configuration.
+    pub config: u64,
+}
+
+/// Computes the cache key for one (trace, configuration) pair.
+#[must_use]
+pub fn cache_key(trace: &KernelTrace, cfg: &SimConfig) -> CacheKey {
+    CacheKey { trace: trace_fingerprint(trace), config: analysis_config_fingerprint(cfg) }
+}
+
+/// Content-addressed, thread-safe cache of [`Analysis`] results.
+///
+/// In-memory always; [`ProfileCache::with_disk`] additionally persists
+/// entries as JSON files named `<trace>-<config>.json` under a directory,
+/// surviving process restarts. Disk failures (unreadable file, stale
+/// schema) are never fatal: they count as misses and are tallied under
+/// `exec.cache.disk_errors`.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: Mutex<HashMap<CacheKey, Arc<Analysis>>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ProfileCache {
+    /// A purely in-memory cache.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A cache that also persists entries under `dir` (created on first
+    /// write if missing).
+    #[must_use]
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        Self { map: Mutex::new(HashMap::new()), disk_dir: Some(dir.into()) }
+    }
+
+    /// Number of entries currently held in memory.
+    ///
+    /// # Panics
+    ///
+    /// Never: lock poisoning is recovered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// `true` if no entry is held in memory.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}-{:016x}.json", key.trace, key.config)))
+    }
+
+    fn load_from_disk(&self, key: CacheKey) -> Option<Analysis> {
+        let path = self.disk_path(key)?;
+        let text = fs::read_to_string(&path).ok()?;
+        match serde_json::from_str::<Analysis>(&text) {
+            Ok(a) => Some(a),
+            Err(_) => {
+                gpumech_obs::counter!("exec.cache.disk_errors");
+                None
+            }
+        }
+    }
+
+    fn store_to_disk(&self, key: CacheKey, analysis: &Analysis) {
+        let Some(path) = self.disk_path(key) else { return };
+        let stored = self.disk_dir.as_ref().is_some_and(|dir| {
+            fs::create_dir_all(dir).is_ok()
+                && serde_json::to_string(analysis)
+                    .is_ok_and(|json| fs::write(&path, json).is_ok())
+        });
+        if stored {
+            gpumech_obs::counter!("exec.cache.disk_writes");
+        } else {
+            gpumech_obs::counter!("exec.cache.disk_errors");
+        }
+    }
+
+    /// Returns the cached [`Analysis`] for `key`, computing and inserting
+    /// it via `compute` on a miss.
+    ///
+    /// The lock is **not** held during `compute`, so concurrent workers
+    /// analyzing different keys proceed in parallel. Two workers racing on
+    /// the same key may both compute; the first insertion wins (both
+    /// compute the same value, so callers can't observe the race).
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever `compute` returns on a miss.
+    pub fn get_or_compute<F>(&self, key: CacheKey, compute: F) -> Result<Arc<Analysis>, ModelError>
+    where
+        F: FnOnce() -> Result<Analysis, ModelError>,
+    {
+        if let Some(hit) = self.map.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            gpumech_obs::counter!("exec.cache.hits");
+            return Ok(Arc::clone(hit));
+        }
+        if let Some(from_disk) = self.load_from_disk(key) {
+            gpumech_obs::counter!("exec.cache.disk_hits");
+            let arc = Arc::new(from_disk);
+            return Ok(Arc::clone(
+                self.map
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(key)
+                    .or_insert(arc),
+            ));
+        }
+        gpumech_obs::counter!("exec.cache.misses");
+        let computed = Arc::new(compute()?);
+        self.store_to_disk(key, &computed);
+        Ok(Arc::clone(
+            self.map
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key)
+                .or_insert(computed),
+        ))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use gpumech_core::Gpumech;
+    use gpumech_trace::workloads;
+
+    fn small_trace(name: &str) -> KernelTrace {
+        workloads::by_name(name).unwrap().with_blocks(2).trace().unwrap()
+    }
+
+    #[test]
+    fn fingerprints_are_content_sensitive_and_stable() {
+        let a = small_trace("sdk_vectoradd");
+        let b = small_trace("bfs_kernel1");
+        assert_eq!(trace_fingerprint(&a), trace_fingerprint(&a.clone()));
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&b));
+        let mut mutated = a.clone();
+        mutated.warps[0].insts[0].active_mask ^= 1;
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&mutated));
+    }
+
+    #[test]
+    fn prediction_only_fields_do_not_change_the_config_fingerprint() {
+        let base = SimConfig::default();
+        // These fields never feed `analyze` — same fingerprint.
+        for swept in [
+            SimConfig { dram_bandwidth_gbps: 999.0, ..base.clone() },
+            SimConfig { num_mshrs: 7, ..base.clone() },
+            SimConfig { sfu_per_core: 4, ..base.clone() },
+            SimConfig { clock_ghz: 2.5, ..base.clone() },
+            SimConfig { shared_mem_kib: 48, ..base.clone() },
+        ] {
+            assert_eq!(
+                analysis_config_fingerprint(&base),
+                analysis_config_fingerprint(&swept),
+                "prediction-only field changed the analysis fingerprint"
+            );
+        }
+        // These do feed `analyze` — fingerprint must move.
+        for relevant in [
+            SimConfig { max_warps_per_core: 16, ..base.clone() },
+            SimConfig { dram_latency: 77, ..base.clone() },
+            SimConfig { issue_width: 2, ..base.clone() },
+        ] {
+            assert_ne!(analysis_config_fingerprint(&base), analysis_config_fingerprint(&relevant));
+        }
+    }
+
+    /// The safety property behind the fingerprint: configs that agree on
+    /// analysis-relevant fields really do produce equal analyses.
+    #[test]
+    fn excluded_fields_cannot_change_the_analysis() {
+        let trace = small_trace("kmeans_invert_mapping");
+        let base = SimConfig::default();
+        let swept = SimConfig {
+            dram_bandwidth_gbps: 57.0,
+            num_mshrs: 5,
+            sfu_per_core: 8,
+            clock_ghz: 0.7,
+            ..base.clone()
+        };
+        assert_eq!(analysis_config_fingerprint(&base), analysis_config_fingerprint(&swept));
+        let a = Gpumech::new(base).analyze(&trace).unwrap();
+        let b = Gpumech::new(swept).analyze(&trace).unwrap();
+        assert_eq!(a, b, "fingerprint-equal configs must be analysis-equal");
+    }
+
+    #[test]
+    fn memory_cache_computes_once_per_key() {
+        let trace = small_trace("sdk_vectoradd");
+        let cfg = SimConfig::default();
+        let cache = ProfileCache::in_memory();
+        let key = cache_key(&trace, &cfg);
+        let mut computes = 0usize;
+        for _ in 0..3 {
+            let got = cache
+                .get_or_compute(key, || {
+                    computes += 1;
+                    Gpumech::new(cfg.clone()).analyze(&trace)
+                })
+                .unwrap();
+            assert_eq!(got.profiles.len(), trace.warps.len());
+        }
+        assert_eq!(computes, 1, "same key must hit after the first compute");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bit_identical_analyses() {
+        let dir = std::env::temp_dir().join(format!("gpumech-exec-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let trace = small_trace("parboil_spmv");
+        let cfg = SimConfig::default();
+        let key = cache_key(&trace, &cfg);
+        let fresh = {
+            let cache = ProfileCache::with_disk(&dir);
+            cache.get_or_compute(key, || Gpumech::new(cfg.clone()).analyze(&trace)).unwrap()
+        };
+        // A new cache instance (cold memory) must load the entry from disk
+        // without calling compute, and the loaded value must be equal.
+        let cold = ProfileCache::with_disk(&dir);
+        let reloaded = cold
+            .get_or_compute(key, || {
+                panic!("disk hit expected; compute must not run")
+            })
+            .unwrap();
+        assert_eq!(*fresh, *reloaded);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compute_errors_propagate_and_are_not_cached() {
+        let cache = ProfileCache::in_memory();
+        let key = CacheKey { trace: 1, config: 2 };
+        let err = cache.get_or_compute(key, || Err(ModelError::EmptyKernel)).unwrap_err();
+        assert_eq!(err, ModelError::EmptyKernel);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Parallel execution engine for the GPUMech pipeline.
+//!
+//! GPUMech's selling point over cycle-accurate simulation is speed, and
+//! speed at fleet scale means running *many* pipeline invocations — all
+//! bundled workloads, swept across machine configurations — not one. This
+//! crate supplies the three pieces that make that cheap without touching
+//! the model's numerics:
+//!
+//! 1. **Worker pool** ([`pool`]) — a scoped, zero-external-dep thread pool
+//!    over [`std::thread::scope`] with a deterministic work queue: items
+//!    are claimed by atomic index and results land in their item's slot,
+//!    so the output order (and content, for pure tasks) is independent of
+//!    worker count and interleaving. Workers are panic-isolated: a panic
+//!    inside one task surfaces as a typed [`ExecError`] for that item
+//!    while the rest of the batch completes.
+//! 2. **Profile cache** ([`cache`]) — a content-addressed cache of
+//!    [`Analysis`](gpumech_core::Analysis) results keyed by (trace
+//!    fingerprint, analysis-relevant-config fingerprint). Interval
+//!    profiles are computed once per (trace, cache configuration) and
+//!    reused across config sweeps that only vary prediction-stage
+//!    parameters (bandwidth, MSHRs, SFU width, clock), and optionally
+//!    persisted to disk via the vendored `serde_json`.
+//! 3. **Batch engine** ([`batch`]) — ties both together:
+//!    [`BatchJob`] descriptors in,
+//!    [`Prediction`](gpumech_core::Prediction)s out, bit-identical to the
+//!    sequential path. Per-warp parallelism inside a single kernel is
+//!    available through [`batch::analyze_parallel`], built on the
+//!    [`Gpumech::analyze_with`](gpumech_core::Gpumech::analyze_with) seam.
+//!
+//! Everything is instrumented under the existing `gpumech-obs` scheme
+//! (`exec.pool.*`, `exec.cache.*`, `exec.batch.*` spans and counters).
+
+pub mod batch;
+pub mod cache;
+pub mod pool;
+
+use std::fmt;
+
+use gpumech_core::ModelError;
+
+pub use batch::{analyze_parallel, canonical_prediction_json, BatchEngine, BatchJob};
+pub use cache::{analysis_config_fingerprint, cache_key, trace_fingerprint, CacheKey, ProfileCache};
+pub use pool::{run_indexed, FaultInjection, FaultKind, PoolOptions};
+
+/// Error produced by the execution layer for one work item.
+///
+/// The pool never aborts a batch: each item independently resolves to a
+/// value or to one of these, so callers always get exactly one outcome
+/// per submitted item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The model itself rejected the item (propagated unchanged).
+    Model(ModelError),
+    /// The worker running this item panicked; the panic was contained and
+    /// the rest of the batch continued.
+    WorkerPanic {
+        /// Index of the item whose task panicked.
+        item: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The item's result slot was empty after the pool drained — the
+    /// worker died between computing and publishing the result (e.g. a
+    /// panic while holding the queue lock).
+    ResultLost {
+        /// Index of the item whose result vanished.
+        item: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Model(e) => write!(f, "model error: {e}"),
+            ExecError::WorkerPanic { item, message } => {
+                write!(f, "worker panicked on item {item}: {message}")
+            }
+            ExecError::ResultLost { item } => {
+                write!(f, "result for item {item} was lost before publication")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Model(e) => Some(e),
+            ExecError::WorkerPanic { .. } | ExecError::ResultLost { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for ExecError {
+    fn from(e: ModelError) -> Self {
+        ExecError::Model(e)
+    }
+}

@@ -16,13 +16,21 @@
 //! and the timing oracle under `catch_unwind` and classify the result as
 //! an [`Outcome`].
 //!
+//! The same contract extends to the execution layer: a worker thread
+//! failing mid-batch (a task panic, or the nastier panic while holding
+//! the result-queue lock) must cost exactly one item, as a typed
+//! [`gpumech_exec::ExecError`]. The [`EXEC_FAULTS`] corpus and
+//! [`run_batch_case`] drive those injections through the real
+//! [`BatchEngine`].
+//!
 //! All randomness is derived from [`gpumech_trace::splitmix64`], so every
 //! mutation is a pure function of its seed: a failing case found in CI
 //! reproduces byte-for-byte locally.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use gpumech_core::{Gpumech, Model, SelectionMethod};
+use gpumech_core::{Gpumech, PredictionRequest};
+use gpumech_exec::{BatchEngine, BatchJob, FaultInjection, FaultKind};
 use gpumech_isa::{SchedulingPolicy, SimConfig};
 use gpumech_timing::simulate;
 use gpumech_trace::{splitmix64, KernelTrace};
@@ -93,12 +101,9 @@ pub fn run_pipeline(trace: &KernelTrace, cfg: &SimConfig) -> Outcome {
     let _span = gpumech_obs::span!("fault.case.pipeline");
     classify(|| {
         let model = Gpumech::new(cfg.clone());
-        let p = model.predict_trace(
-            trace,
-            SchedulingPolicy::RoundRobin,
-            Model::MtMshrBand,
-            SelectionMethod::Clustering,
-        )?;
+        // The paper's flagship path, expressed as a request with default
+        // options (round-robin, MT_MSHR_BAND, clustering selection).
+        let p = model.run(&PredictionRequest::from_trace(trace))?;
         Ok::<f64, gpumech_core::ModelError>(p.cpi_total())
     })
 }
@@ -249,6 +254,47 @@ pub fn corrupt_addrs(trace: &mut KernelTrace, _cfg: &mut SimConfig, seed: u64) {
                 let dup = inst.addrs[0];
                 inst.addrs.push(dup);
             }
+        }
+    }
+}
+
+/// The execution-layer fault corpus: deliberate worker failures the
+/// batch pool must contain. Unlike [`MUTATORS`], these corrupt the
+/// *machinery* (a worker thread), not the input — the contract is that
+/// only the victim item degrades, to a typed [`gpumech_exec::ExecError`],
+/// while every other item in the batch completes with output identical
+/// to a fault-free run.
+pub const EXEC_FAULTS: &[(&str, FaultKind)] = &[
+    ("task_panic", FaultKind::TaskPanic),
+    ("panic_holding_queue_lock", FaultKind::PanicHoldingQueueLock),
+];
+
+/// Runs `jobs` through a fresh [`BatchEngine`] with an optional injected
+/// worker fault, classifying each job's result as an [`Outcome`]
+/// (successful predictions by total CPI, [`gpumech_exec::ExecError`]s as
+/// typed errors). A panic *escaping* the engine — which the pool's
+/// isolation exists to prevent — classifies every job as
+/// [`Outcome::Panic`].
+#[must_use]
+pub fn run_batch_case(
+    jobs: &[BatchJob],
+    workers: usize,
+    inject: Option<FaultInjection>,
+) -> Vec<Outcome> {
+    let _span = gpumech_obs::span!("fault.case.batch");
+    match catch_unwind(AssertUnwindSafe(|| {
+        BatchEngine::new(workers).run_with_injection(jobs, inject)
+    })) {
+        Ok(results) => results
+            .into_iter()
+            .map(|r| match r {
+                Ok(p) => Outcome::Cpi(p.cpi_total()),
+                Err(e) => Outcome::TypedError(e.to_string()),
+            })
+            .collect(),
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            jobs.iter().map(|_| Outcome::Panic(msg.clone())).collect()
         }
     }
 }

@@ -48,7 +48,7 @@ impl DramChannel {
     /// The service time is clamped to one booking window; a validated
     /// configuration ([`SimConfig::validate`] bounds
     /// `dram_service_cycles()` by `MAX_DRAM_SERVICE_CYCLES`) is never
-    /// clamped, but the guard keeps [`DramChannel::book`]'s capacity search
+    /// clamped, but the guard keeps `DramChannel::book`'s capacity search
     /// terminating even on unvalidated inputs.
     #[must_use]
     pub fn new(cfg: &SimConfig) -> Self {

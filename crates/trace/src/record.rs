@@ -8,7 +8,7 @@ use crate::engine::TraceError;
 use crate::launch::LaunchConfig;
 
 /// One dynamically executed warp-instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TraceInst {
     /// Static PC (index into the kernel's instruction array).
     pub pc: u32,
@@ -34,7 +34,7 @@ impl TraceInst {
 }
 
 /// The full dynamic trace of one warp.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WarpTrace {
     /// Grid-global warp id.
     pub warp: WarpId,
@@ -65,7 +65,7 @@ impl WarpTrace {
 }
 
 /// The traces of every warp of a kernel launch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KernelTrace {
     /// Kernel name (copied from the kernel definition).
     pub name: String,

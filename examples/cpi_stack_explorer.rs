@@ -10,7 +10,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use gpumech::core::{Gpumech, SchedulingPolicy, StallCategory};
+use gpumech::core::{Gpumech, PredictionRequest, SchedulingPolicy, StallCategory};
 use gpumech::isa::SimConfig;
 use gpumech::trace::workloads;
 
@@ -30,12 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = SimConfig::table1().with_warps_per_core(warps);
         let model = Gpumech::new(cfg);
         let analysis = model.analyze(&trace)?;
-        let p = model.predict_from_analysis(
-            &analysis,
-            SchedulingPolicy::RoundRobin,
-            gpumech::core::Model::MtMshrBand,
-            gpumech::core::SelectionMethod::Clustering,
-        );
+        let p = model.run(
+            &PredictionRequest::from_analysis(&analysis)
+                .policy(SchedulingPolicy::RoundRobin)
+                .model(gpumech::core::Model::MtMshrBand)
+                .selection(gpumech::core::SelectionMethod::Clustering),
+        )?;
         let stack = p.cpi;
         // The dominant non-BASE category is the bottleneck to attack.
         let bottleneck = StallCategory::ALL

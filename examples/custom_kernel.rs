@@ -10,7 +10,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use gpumech::core::{Gpumech, SchedulingPolicy};
+use gpumech::core::{Gpumech, PredictionRequest, SchedulingPolicy};
 use gpumech::isa::{KernelBuilder, MemSpace, Operand, SimConfig, ValueOp};
 use gpumech::trace::{trace_kernel, LaunchConfig};
 
@@ -48,11 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for scatter in [true, false] {
         let kernel = histogram(scatter);
         let trace = trace_kernel(&kernel, launch)?;
-        let p = Gpumech::new(cfg.clone()).predict_trace(
-            &trace,
-            SchedulingPolicy::GreedyThenOldest,
-            gpumech::core::Model::MtMshrBand,
-            gpumech::core::SelectionMethod::Clustering,
+        let p = Gpumech::new(cfg.clone()).run(
+            &PredictionRequest::from_trace(&trace)
+                .policy(SchedulingPolicy::GreedyThenOldest)
+                .model(gpumech::core::Model::MtMshrBand)
+                .selection(gpumech::core::SelectionMethod::Clustering),
         )?;
         println!("{:<18} predicted CPI {:>7.2}   (QUEUE {:>6.2}, MSHR {:>6.2}, DRAM {:>6.2})",
             kernel.name, p.cpi_total(), p.cpi.queue, p.cpi.mshr, p.cpi.dram);

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use gpumech::core::{Gpumech, Model, SchedulingPolicy, SelectionMethod};
+use gpumech::core::{Gpumech, Model, PredictionRequest, SchedulingPolicy, SelectionMethod};
 use gpumech::isa::SimConfig;
 use gpumech::trace::workloads;
 
@@ -39,12 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // Cache statistics depend on residency, so re-analyze per
                 // warp count; the interval profiles are rebuilt with them.
                 let analysis = model.analyze(&trace)?;
-                let p = model.predict_from_analysis(
-                    &analysis,
-                    SchedulingPolicy::GreedyThenOldest,
-                    Model::MtMshrBand,
-                    SelectionMethod::Clustering,
-                );
+                let p = model.run(
+                    &PredictionRequest::from_analysis(&analysis)
+                        .policy(SchedulingPolicy::GreedyThenOldest)
+                        .model(Model::MtMshrBand)
+                        .selection(SelectionMethod::Clustering),
+                )?;
                 results.push((warps, mshrs, bw, p.cpi_total()));
             }
         }

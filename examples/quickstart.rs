@@ -5,7 +5,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use gpumech::core::{Gpumech, SchedulingPolicy};
+use gpumech::core::{Gpumech, PredictionRequest, SchedulingPolicy};
 use gpumech::isa::SimConfig;
 use gpumech::timing::simulate;
 use gpumech::trace::workloads;
@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // GPUMech prediction: functional trace -> cache statistics -> interval
     // profiles -> representative warp -> multi-warp + contention models.
-    let prediction = Gpumech::new(cfg.clone()).predict(&workload, SchedulingPolicy::RoundRobin)?;
+    let prediction = Gpumech::new(cfg.clone())
+        .run(&PredictionRequest::from_workload(&workload).policy(SchedulingPolicy::RoundRobin))?;
 
     println!("kernel: {} — {}", workload.name, workload.description);
     println!("predicted CPI: {:.3}", prediction.cpi_total());
