@@ -22,6 +22,13 @@
 #      and a Chrome trace, and `gpumech obs-validate` checks the JSONL
 #      against the exporter schema and the stage.subsystem.name scheme —
 #      including a `gpumech batch --obs-out` trace with exec.* metrics
+#  10. resilience: the on-disk cache corruption fan (truncation / bit
+#      flips / version skew / zero-length, each quarantined and
+#      recomputed byte-identically), the resilience contract suite
+#      (deadlines, cancellation, retry, breaker, journal resume), the
+#      kill/resume integration test (SIGKILL mid-sweep, `--resume`
+#      finishes with zero repeat work), and an obs-validate gate on a
+#      resumed run's trace carrying exec.resilience.* metrics
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,5 +64,23 @@ echo "== observability =="
 ./target/release/gpumech batch sdk_vectoradd bfs_kernel1 --blocks 4 \
   --sweep bw=96,192 --obs-out target/obs-batch-ci.jsonl > /dev/null
 ./target/release/gpumech obs-validate target/obs-batch-ci.jsonl
+
+echo "== resilience =="
+cargo test -p gpumech-exec --release --test cache_corruption -q
+cargo test -p gpumech-exec --release --test resilience -q
+cargo test -p gpumech-fault --release --test resilience_suite -q
+cargo test -p gpumech-cli --release --test kill_resume -q
+# A journalled run + resume through the release binary; the resumed
+# trace must carry well-formed exec.resilience.* metrics and validate.
+rm -f target/ci-journal.jsonl
+./target/release/gpumech batch sdk_vectoradd bfs_kernel1 --blocks 4 \
+  --journal target/ci-journal.jsonl > /dev/null
+./target/release/gpumech batch sdk_vectoradd bfs_kernel1 --blocks 4 \
+  --journal target/ci-journal.jsonl --resume \
+  --obs-out target/obs-resume-ci.jsonl > /dev/null
+./target/release/gpumech obs-validate target/obs-resume-ci.jsonl
+grep -q 'exec.resilience.journal_hits' target/obs-resume-ci.jsonl \
+  || { echo "resume trace missing exec.resilience.* metrics"; exit 1; }
+rm -f target/ci-journal.jsonl
 
 echo "CI OK"

@@ -6,11 +6,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: positionals in order, flags as key → value.
+/// Parsed command line: positionals in order, flags as key → value, and
+/// boolean switches as a presence set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     positionals: Vec<String>,
     flags: BTreeMap<String, String>,
+    switches: Vec<String>,
 }
 
 /// Error produced while parsing or interpreting arguments.
@@ -57,20 +59,48 @@ impl Args {
     where
         I: IntoIterator<Item = String>,
     {
+        Self::parse_with_switches(argv, allowed, &[])
+    }
+
+    /// Parses `argv` accepting valued `--flag value` pairs from `allowed`
+    /// plus boolean `--switch` names (no value) from `switches`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for unknown flags or valued flags missing a
+    /// value.
+    pub fn parse_with_switches<I>(
+        argv: I,
+        allowed: &[&str],
+        switches: &[&str],
+    ) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut out = Args::default();
         let mut it = argv.into_iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if !allowed.contains(&name) {
+                if switches.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else if allowed.contains(&name) {
+                    let value =
+                        it.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                    out.flags.insert(name.to_string(), value);
+                } else {
                     return Err(ArgError::UnknownFlag(name.to_string()));
                 }
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
-                out.flags.insert(name.to_string(), value);
             } else {
                 out.positionals.push(a);
             }
         }
         Ok(out)
+    }
+
+    /// Whether the boolean switch `--name` was present.
+    #[must_use]
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// The `i`-th positional argument.
@@ -168,6 +198,23 @@ mod tests {
         assert_eq!(a.flag_or("blocks", 7usize).unwrap(), 7);
         assert_eq!(a.flag_opt::<usize>("blocks").unwrap(), None);
         assert!(matches!(a.required(0, "kernel"), Err(ArgError::MissingPositional("kernel"))));
+    }
+
+    #[test]
+    fn switches_parse_without_values() {
+        let a = Args::parse_with_switches(
+            argv(&["--resume", "--blocks", "8", "kernel1"]),
+            &["blocks"],
+            &["resume"],
+        )
+        .unwrap();
+        assert!(a.switch("resume"));
+        assert!(!a.switch("json"));
+        assert_eq!(a.flag_or("blocks", 0usize).unwrap(), 8);
+        assert_eq!(a.positional(0), Some("kernel1"));
+        // A switch name is not a valued flag and vice versa.
+        let e = Args::parse_with_switches(argv(&["--resume", "x"]), &["blocks"], &[]).unwrap_err();
+        assert_eq!(e, ArgError::UnknownFlag("resume".into()));
     }
 
     #[test]

@@ -72,6 +72,19 @@ BATCH FLAGS:
                       listed values; each kernel is predicted at every point
     --json PATH       write the batch results as machine-readable JSON
     --cache-dir DIR   persist the profile cache to DIR across invocations
+    --timeout-ms N    per-job time budget; a job over budget fails alone
+                      with a typed Deadline error
+    --deadline-ms N   whole-run time budget; jobs past the deadline fail
+                      fast instead of running
+    --retries N       retry a job up to N times after a transient worker
+                      panic, with deterministic exponential backoff
+    --breaker-threshold N
+                      skip further sweep points of a kernel after N
+                      consecutive failures (typed CircuitOpen error)
+    --journal PATH    append each completed job to a JSONL journal so an
+                      interrupted run can be resumed
+    --resume          skip jobs already present in --journal, replaying
+                      their recorded predictions byte-identically
 
 OBSERVABILITY FLAGS:
     --obs-out PATH    write a JSON-lines recorder trace (predict, simulate,

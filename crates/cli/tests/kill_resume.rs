@@ -1,0 +1,155 @@
+//! Kill/resume integration test: a real `gpumech batch` child process is
+//! SIGKILLed mid-sweep, then rerun with `--resume`. The union of the
+//! journal and the second run must cover every job exactly once, the
+//! resumed run must do zero repeat analyses (asserted via the exported
+//! counters), and the final JSON report must be byte-identical to an
+//! uninterrupted run.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const KERNELS: [&str; 7] = [
+    "sdk_vectoradd",
+    "bfs_kernel1",
+    "kmeans_invert_mapping",
+    "cfd_step_factor",
+    "lud_diagonal",
+    "srad_kernel1",
+    "cfd_compute_flux",
+];
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gpumech-killresume-{}-{tag}", std::process::id()))
+}
+
+fn batch_cmd(json: &Path, journal: Option<&Path>, resume: bool, obs: Option<&Path>) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_gpumech"));
+    c.arg("batch");
+    c.args(KERNELS);
+    c.args(["--blocks", "8", "--workers", "1", "--json"]).arg(json);
+    if let Some(j) = journal {
+        c.arg("--journal").arg(j);
+    }
+    if resume {
+        c.arg("--resume");
+    }
+    if let Some(o) = obs {
+        c.arg("--obs-out").arg(o);
+    }
+    c.stdout(std::process::Stdio::null()).stderr(std::process::Stdio::null());
+    c
+}
+
+/// Parses the journal: the fingerprints of every fully-written line
+/// (torn tails excluded, matching `Journal::load`).
+fn journal_fingerprints(path: &Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
+    text.lines()
+        .filter_map(|line| {
+            let v = serde_json::parse_value(line).ok()?;
+            match v.get_field("fingerprint") {
+                Some(serde::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Extracts a counter aggregate's total from an `--obs-out` JSONL export.
+fn counter_total(obs_text: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\"");
+    for line in obs_text.lines() {
+        if line.contains("\"type\":\"aggregate\"") && line.contains(&needle) {
+            let v = serde_json::parse_value(line).unwrap();
+            return v.get_field("total").and_then(serde::Value::as_u64).unwrap_or(0);
+        }
+    }
+    0
+}
+
+#[test]
+fn killed_batch_resumes_with_zero_repeat_work_and_identical_output() {
+    let ref_json = tmp("ref.json");
+    let killed_json = tmp("killed.json");
+    let final_json = tmp("final.json");
+    let journal = tmp("journal.jsonl");
+    let obs = tmp("obs.jsonl");
+    for p in [&ref_json, &killed_json, &final_json, &journal, &obs] {
+        let _ = fs::remove_file(p);
+    }
+
+    // Ground truth: one uninterrupted run, no journal.
+    let status = batch_cmd(&ref_json, None, false, None).status().unwrap();
+    assert!(status.success(), "reference run failed");
+
+    // The victim run: poll the journal and SIGKILL the child once some —
+    // but not all — jobs have committed.
+    let mut child = batch_cmd(&killed_json, Some(&journal), false, None).spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let killed_midway = loop {
+        if let Some(_status) = child.try_wait().unwrap() {
+            // Too fast to catch mid-flight: the journal is complete. The
+            // resume path below still gets exercised (full replay).
+            break false;
+        }
+        let done = journal_fingerprints(&journal).len();
+        if done >= 2 {
+            child.kill().unwrap();
+            let _ = child.wait();
+            break true;
+        }
+        assert!(Instant::now() < deadline, "journal never grew; child hung?");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    let before = journal_fingerprints(&journal);
+    assert!(!before.is_empty(), "at least one job must have committed before the kill");
+    if killed_midway {
+        assert!(before.len() < KERNELS.len(), "kill landed after the sweep finished");
+    }
+
+    // The resumed run.
+    let status =
+        batch_cmd(&final_json, Some(&journal), true, Some(&obs)).status().unwrap();
+    assert!(status.success(), "resumed run failed");
+
+    // Union covers every job exactly once: the journal now holds one
+    // fully-written line per job, no duplicates.
+    let after = journal_fingerprints(&journal);
+    assert_eq!(after.len(), KERNELS.len(), "journal must cover the whole sweep");
+    let mut unique = after.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), after.len(), "a job was journalled twice");
+    for fp in &before {
+        assert!(after.contains(fp), "a pre-kill entry vanished from the journal");
+    }
+
+    // Zero repeat analyses: every journalled job replayed, only the rest
+    // were computed.
+    let obs_text = fs::read_to_string(&obs).unwrap();
+    let hits = counter_total(&obs_text, "exec.resilience.journal_hits");
+    let misses = counter_total(&obs_text, "exec.cache.misses");
+    assert_eq!(hits, before.len() as u64, "every pre-kill job must replay from the journal");
+    assert_eq!(
+        misses,
+        (KERNELS.len() - before.len()) as u64,
+        "only never-journalled jobs may be analyzed"
+    );
+
+    // The resumed report is byte-identical to the uninterrupted one from
+    // the jobs array on (cache_entries legitimately differs: the resumed
+    // run analyzed fewer traces).
+    let reference = fs::read_to_string(&ref_json).unwrap();
+    let resumed = fs::read_to_string(&final_json).unwrap();
+    let tail = |s: &str| s[s.find("\"jobs\"").unwrap()..].to_string();
+    assert_eq!(tail(&reference), tail(&resumed), "resumed output diverged from uninterrupted run");
+
+    for p in [&ref_json, &killed_json, &final_json, &journal, &obs] {
+        let _ = fs::remove_file(p);
+    }
+}

@@ -6,6 +6,10 @@
 //! along the performance axis (deterministic — no RNG), then Lloyd
 //! iterations run to convergence.
 
+use std::convert::Infallible;
+
+use gpumech_obs::{CancelToken, Interrupt};
+
 use super::features::FeatureVector;
 
 /// Result of the 2-means clustering.
@@ -38,6 +42,37 @@ const MAX_ITERS: usize = 100;
 /// Panics if `points` is empty.
 #[must_use]
 pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
+    match kmeans2_checked(points, &|| Ok::<(), Infallible>(())) {
+        Ok(r) => r,
+        Err(never) => match never {},
+    }
+}
+
+/// [`kmeans2`] under a [`CancelToken`]: the token is polled before every
+/// Lloyd iteration, so an expired deadline or explicit cancellation aborts
+/// the refinement loop within one iteration.
+///
+/// # Errors
+///
+/// The [`Interrupt`] once `cancel` fires.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn kmeans2_cancellable(
+    points: &[FeatureVector],
+    cancel: &CancelToken,
+) -> Result<KmeansResult, Interrupt> {
+    kmeans2_checked(points, &|| cancel.check())
+}
+
+/// The shared k-means body: `check` is polled before every Lloyd
+/// iteration and decides the error type (`Infallible` for the plain
+/// entry point, [`Interrupt`] for the cancellable ones).
+pub(crate) fn kmeans2_checked<E>(
+    points: &[FeatureVector],
+    check: &dyn Fn() -> Result<(), E>,
+) -> Result<KmeansResult, E> {
     assert!(!points.is_empty(), "kmeans2 requires at least one point");
     let _span = gpumech_obs::span!("core.kmeans.cluster", points = points.len());
 
@@ -60,6 +95,7 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
     let mut iterations = 0;
     let mut converged = false;
     for it in 0..MAX_ITERS {
+        check()?;
         iterations = it + 1;
         let mut changed = 0u64;
         for (i, p) in points.iter().enumerate() {
@@ -139,7 +175,7 @@ pub fn kmeans2(points: &[FeatureVector]) -> KmeansResult {
     if degenerate {
         gpumech_obs::counter!("core.kmeans.degenerate", 1u64);
     }
-    KmeansResult { assignment, centroids, majority, representative, iterations, degenerate }
+    Ok(KmeansResult { assignment, centroids, majority, representative, iterations, degenerate })
 }
 
 #[cfg(test)]
@@ -218,6 +254,17 @@ mod tests {
         let r = kmeans2(&pts);
         assert!(r.degenerate, "non-finite features must flag the result degenerate");
         assert!(r.representative < pts.len());
+    }
+
+    #[test]
+    fn cancellable_path_matches_and_honors_the_token() {
+        let pts = vec![fv(0.1, 1.0), fv(0.12, 1.0), fv(2.0, 1.0), fv(2.1, 1.0)];
+        let live = kmeans2_cancellable(&pts, &CancelToken::never()).unwrap();
+        assert_eq!(live, kmeans2(&pts));
+
+        let cancelled = CancelToken::never();
+        cancelled.cancel();
+        assert_eq!(kmeans2_cancellable(&pts, &cancelled), Err(Interrupt::Cancelled));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod model;
 pub mod multiwarp;
 pub mod request;
 
-pub use cluster::{feature_vectors, kmeans2, select_representative, SelectionMethod};
+pub use cluster::{feature_vectors, kmeans2, kmeans2_cancellable, select_representative, SelectionMethod};
 pub use contention::{contention_cpi, ContentionOptions, ContentionResult};
 pub use cpistack::{CpiStack, StallCategory};
 pub use interval::{build_profile, summarize_population, Interval, IntervalProfile, PopulationSummary, ProfileSummary, StallCause};

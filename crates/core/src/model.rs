@@ -2,13 +2,14 @@
 //! per-warp interval profiles → representative-warp selection → multi-warp
 //! model → contention model → CPI stack.
 
+use std::convert::Infallible;
 use std::fmt;
 
 use std::time::Instant;
 
 use gpumech_isa::{ConfigError, SchedulingPolicy, SimConfig};
-use gpumech_mem::{simulate_hierarchy, MemStats};
-use gpumech_obs::{PipelineReport, StageReport};
+use gpumech_mem::{simulate_hierarchy_cancellable, MemStats};
+use gpumech_obs::{CancelToken, Interrupt, PipelineReport, StageReport};
 use gpumech_trace::{KernelTrace, TraceError, WarpTrace, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,11 @@ pub enum ModelError {
     /// An execution layer driving the model (worker pool, cache) failed
     /// outside the model proper.
     Execution(String),
+    /// The pipeline was interrupted by a [`CancelToken`] (explicit
+    /// cancellation or an expired deadline) before the prediction finished.
+    ///
+    /// [`CancelToken`]: gpumech_obs::CancelToken
+    Interrupted(Interrupt),
 }
 
 impl fmt::Display for ModelError {
@@ -80,6 +86,7 @@ impl fmt::Display for ModelError {
             ModelError::EmptyKernel => f.write_str("kernel produced no instructions"),
             ModelError::InvalidRequest(why) => write!(f, "invalid prediction request: {why}"),
             ModelError::Execution(why) => write!(f, "execution failed: {why}"),
+            ModelError::Interrupted(why) => write!(f, "pipeline interrupted: {why}"),
         }
     }
 }
@@ -91,7 +98,8 @@ impl std::error::Error for ModelError {
             ModelError::InvalidConfig(e) => Some(e),
             ModelError::EmptyKernel
             | ModelError::InvalidRequest(_)
-            | ModelError::Execution(_) => None,
+            | ModelError::Execution(_)
+            | ModelError::Interrupted(_) => None,
         }
     }
 }
@@ -216,6 +224,7 @@ impl Gpumech {
     /// non-clustering selection, population weighting of an explicit
     /// profile, or a profile index outside the analyzed grid.
     pub fn run(&self, request: &PredictionRequest<'_>) -> Result<Prediction, ModelError> {
+        request.cancel.check().map_err(ModelError::Interrupted)?;
         if request.weighting == Weighting::PopulationWeighted {
             if request.selection != SelectionMethod::Clustering {
                 return Err(ModelError::InvalidRequest(format!(
@@ -230,20 +239,22 @@ impl Gpumech {
                 ));
             }
         }
+        let cancel = &request.cancel;
         let owned: Analysis;
         let analysis: &Analysis = match &request.source {
             Source::Workload(w) => {
-                let trace = w.trace()?;
-                owned = self.analyze(&trace)?;
+                let trace = w.trace_cancellable(cancel)?;
+                owned = self.analyze_cancellable(&trace, cancel)?;
                 &owned
             }
             Source::Trace(t) => {
-                owned = self.analyze(t)?;
+                owned = self.analyze_cancellable(t, cancel)?;
                 &owned
             }
             Source::Analysis(a) => a,
             Source::Profile { analysis, .. } => analysis,
         };
+        cancel.check().map_err(ModelError::Interrupted)?;
         if let Source::Profile { rep, .. } = request.source {
             if rep >= analysis.profiles.len() {
                 return Err(ModelError::InvalidRequest(format!(
@@ -253,10 +264,14 @@ impl Gpumech {
             }
             return Ok(self.profile_prediction(analysis, rep, request.policy, request.model));
         }
+        let check = &|| cancel.check();
         if request.weighting == Weighting::PopulationWeighted {
-            return Ok(self.weighted_prediction(analysis, request.policy, request.model));
+            return self
+                .weighted_prediction_impl(analysis, request.policy, request.model, check)
+                .map_err(ModelError::Interrupted);
         }
-        Ok(self.selected_prediction(analysis, request.policy, request.model, request.selection))
+        self.selected_prediction_impl(analysis, request.policy, request.model, request.selection, check)
+            .map_err(ModelError::Interrupted)
     }
 
     /// Full GPUMech prediction (MT_MSHR_BAND, clustering selection) for a
@@ -312,6 +327,35 @@ impl Gpumech {
         })
     }
 
+    /// [`Gpumech::analyze`] under a [`CancelToken`]: the cache simulation
+    /// polls the token as it replays and the interval profiler checks it
+    /// between warps, so an expired deadline or explicit cancellation
+    /// aborts the analysis within a bounded amount of work.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gpumech::analyze`], plus [`ModelError::Interrupted`] once
+    /// `cancel` fires.
+    pub fn analyze_cancellable(
+        &self,
+        trace: &KernelTrace,
+        cancel: &CancelToken,
+    ) -> Result<Analysis, ModelError> {
+        self.analyze_with_cancel(
+            trace,
+            |warps, cfg, mem| {
+                warps
+                    .iter()
+                    .map(|w| {
+                        cancel.check().map_err(ModelError::Interrupted)?;
+                        Ok(build_profile(w, cfg, mem))
+                    })
+                    .collect()
+            },
+            cancel,
+        )
+    }
+
     /// [`Gpumech::analyze`] with a pluggable per-warp profiler — the seam
     /// that lets execution layers parallelize interval-profile
     /// construction without this crate depending on them.
@@ -333,6 +377,26 @@ impl Gpumech {
     where
         F: FnOnce(&[WarpTrace], &SimConfig, &MemStats) -> Result<Vec<IntervalProfile>, ModelError>,
     {
+        self.analyze_with_cancel(trace, profiler, &CancelToken::never())
+    }
+
+    /// [`Gpumech::analyze_with`] under a [`CancelToken`]: the cache
+    /// simulation polls `cancel` as it replays; `profiler` is responsible
+    /// for its own polling (the sequential profiler checks between warps).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gpumech::analyze_with`], plus [`ModelError::Interrupted`]
+    /// once `cancel` fires.
+    pub fn analyze_with_cancel<F>(
+        &self,
+        trace: &KernelTrace,
+        profiler: F,
+        cancel: &CancelToken,
+    ) -> Result<Analysis, ModelError>
+    where
+        F: FnOnce(&[WarpTrace], &SimConfig, &MemStats) -> Result<Vec<IntervalProfile>, ModelError>,
+    {
         let _span = gpumech_obs::span!(
             "core.pipeline.analyze",
             name = trace.name.as_str(),
@@ -346,7 +410,8 @@ impl Gpumech {
         let mut stages = Vec::new();
 
         let t0 = Instant::now();
-        let mem = simulate_hierarchy(trace, &self.cfg);
+        let mem = simulate_hierarchy_cancellable(trace, &self.cfg, cancel)
+            .map_err(ModelError::Interrupted)?;
         let mut stage = StageReport::new("core.pipeline.cachesim");
         stage.wall_ns = elapsed_ns(t0);
         let (mem_insts, dram_reqs) = mem
@@ -404,8 +469,8 @@ impl Gpumech {
         self.selected_prediction(analysis, policy, model, selection)
     }
 
-    /// Shared body of [`Gpumech::run`]'s analysis path and the deprecated
-    /// `predict_from_analysis` shim.
+    /// Infallible [`Gpumech::selected_prediction_impl`] for the deprecated
+    /// `predict_from_analysis` shim (no cancellation).
     fn selected_prediction(
         &self,
         analysis: &Analysis,
@@ -413,29 +478,47 @@ impl Gpumech {
         model: Model,
         selection: SelectionMethod,
     ) -> Prediction {
+        match self.selected_prediction_impl(analysis, policy, model, selection, &|| {
+            Ok::<(), Infallible>(())
+        }) {
+            Ok(p) => p,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Shared body of [`Gpumech::run`]'s analysis path and the deprecated
+    /// `predict_from_analysis` shim; `check` is polled by the k-means loop.
+    fn selected_prediction_impl<E>(
+        &self,
+        analysis: &Analysis,
+        policy: SchedulingPolicy,
+        model: Model,
+        selection: SelectionMethod,
+        check: &dyn Fn() -> Result<(), E>,
+    ) -> Result<Prediction, E> {
         if selection == SelectionMethod::Clustering {
             let t0 = Instant::now();
             let feats = crate::cluster::feature_vectors(&analysis.profiles);
-            let km = crate::cluster::kmeans2(&feats);
+            let km = crate::cluster::kmeans2_checked(&feats, check)?;
             let select = select_stage(&km, feats.len(), elapsed_ns(t0));
             if km.degenerate {
                 // Graceful degradation: the cluster structure is unreliable
                 // (non-finite features or Lloyd non-convergence), so blend
                 // by population instead of trusting one representative.
-                let mut p = self.weighted_prediction(analysis, policy, model);
+                let mut p = self.weighted_prediction_impl(analysis, policy, model, check)?;
                 p.warnings.push(
                     "k-means clustering degenerated (non-finite features or no convergence); \
                      downgraded to population-weighted cluster selection"
                         .to_owned(),
                 );
-                return p;
+                return Ok(p);
             }
             let mut p = self.profile_prediction(analysis, km.representative, policy, model);
             insert_before_predict(&mut p.report, select);
-            return p;
+            return Ok(p);
         }
         let rep = select_representative(&analysis.profiles, selection);
-        self.profile_prediction(analysis, rep, policy, model)
+        Ok(self.profile_prediction(analysis, rep, policy, model))
     }
 
     /// Runs the multi-warp + contention models for one explicit warp's
@@ -568,18 +651,34 @@ impl Gpumech {
         self.weighted_prediction(analysis, policy, model)
     }
 
-    /// Shared body of [`Gpumech::run`]'s population-weighted path, the
-    /// degenerate-clustering fallback, and the deprecated
-    /// `predict_weighted_clusters` shim.
+    /// Infallible [`Gpumech::weighted_prediction_impl`] for the deprecated
+    /// `predict_weighted_clusters` shim (no cancellation).
     fn weighted_prediction(
         &self,
         analysis: &Analysis,
         policy: SchedulingPolicy,
         model: Model,
     ) -> Prediction {
+        match self.weighted_prediction_impl(analysis, policy, model, &|| Ok::<(), Infallible>(())) {
+            Ok(p) => p,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Shared body of [`Gpumech::run`]'s population-weighted path, the
+    /// degenerate-clustering fallback, and the deprecated
+    /// `predict_weighted_clusters` shim; `check` is polled by the k-means
+    /// loop.
+    fn weighted_prediction_impl<E>(
+        &self,
+        analysis: &Analysis,
+        policy: SchedulingPolicy,
+        model: Model,
+        check: &dyn Fn() -> Result<(), E>,
+    ) -> Result<Prediction, E> {
         let t0 = Instant::now();
         let feats = crate::cluster::feature_vectors(&analysis.profiles);
-        let km = crate::cluster::kmeans2(&feats);
+        let km = crate::cluster::kmeans2_checked(&feats, check)?;
         let select = select_stage(&km, feats.len(), elapsed_ns(t0));
         let n = feats.len();
 
@@ -624,7 +723,7 @@ impl Gpumech {
             .unwrap_or_else(|| self.profile_prediction(analysis, km.representative, policy, model));
         p.representative = km.representative;
         insert_before_predict(&mut p.report, select);
-        p
+        Ok(p)
     }
 }
 
@@ -882,5 +981,33 @@ mod tests {
         let t = trace_of("sdk_vectoradd", 2);
         let err = model().analyze_with(&t, |_, _, _| Ok(Vec::new())).unwrap_err();
         assert!(matches!(err, ModelError::Execution(_)));
+    }
+
+    #[test]
+    fn run_rejects_a_cancelled_token_before_doing_any_work() {
+        let w = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(2);
+        let cancelled = CancelToken::never();
+        cancelled.cancel();
+        let err =
+            model().run(&PredictionRequest::from_workload(&w).cancel(cancelled)).unwrap_err();
+        assert_eq!(err, ModelError::Interrupted(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn fake_clock_deadline_interrupts_the_analysis_stages() {
+        let t = trace_of("sdk_vectoradd", 2);
+        let clock = std::sync::Arc::new(gpumech_obs::FakeClock::new(1_000));
+        let token = CancelToken::with_clock(clock, 1_500);
+        let err = model().run(&PredictionRequest::from_trace(&t).cancel(token)).unwrap_err();
+        assert_eq!(err, ModelError::Interrupted(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellable_analysis_is_bit_identical_to_the_plain_one() {
+        let t = trace_of("parboil_spmv", 4);
+        let m = model();
+        let plain = m.analyze(&t).unwrap();
+        let live = m.analyze_cancellable(&t, &CancelToken::never()).unwrap();
+        assert_eq!(plain, live);
     }
 }

@@ -24,6 +24,7 @@
 //! ```
 
 use gpumech_isa::SchedulingPolicy;
+use gpumech_obs::CancelToken;
 use gpumech_trace::{KernelTrace, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,7 @@ pub struct PredictionRequest<'a> {
     pub(crate) model: Model,
     pub(crate) selection: SelectionMethod,
     pub(crate) weighting: Weighting,
+    pub(crate) cancel: CancelToken,
 }
 
 impl<'a> PredictionRequest<'a> {
@@ -88,6 +90,7 @@ impl<'a> PredictionRequest<'a> {
             model: Model::MtMshrBand,
             selection: SelectionMethod::Clustering,
             weighting: Weighting::SingleRepresentative,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -153,6 +156,18 @@ impl<'a> PredictionRequest<'a> {
     #[must_use]
     pub fn population_weighted(self) -> Self {
         self.weighting(Weighting::PopulationWeighted)
+    }
+
+    /// Attaches a [`CancelToken`] (default: never fires). Every stage of
+    /// the pipeline — tracing, cache simulation, interval profiling,
+    /// k-means — polls the token and aborts with
+    /// [`ModelError::Interrupted`](crate::model::ModelError::Interrupted)
+    /// once it fires, which is how batch engines enforce per-job timeouts
+    /// and whole-run deadlines.
+    #[must_use]
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 

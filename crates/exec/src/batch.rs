@@ -12,18 +12,26 @@
 //! and the cache returns value-equal analyses.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 use gpumech_core::{
     build_profile, Gpumech, Model, ModelError, Prediction, PredictionRequest, SelectionMethod,
     Weighting,
 };
 use gpumech_isa::{SchedulingPolicy, SimConfig};
+use gpumech_obs::{CancelToken, Interrupt};
 use gpumech_trace::KernelTrace;
 
-use crate::cache::{analysis_config_fingerprint, trace_fingerprint, CacheKey, ProfileCache};
-use crate::pool::{run_indexed, FaultInjection, PoolOptions};
-use crate::ExecError;
+use crate::cache::{
+    analysis_config_fingerprint, payload_checksum, trace_fingerprint, CacheKey, ProfileCache,
+};
+use crate::pool::{
+    maybe_inject, panic_message, run_indexed, FaultInjection, FaultKind, PoolOptions,
+};
+use crate::resilience::{BatchOptions, CircuitBreaker, Journal};
+use crate::{BatchError, ExecError};
 
 /// One batch item: a kernel trace plus everything needed to predict it.
 ///
@@ -121,11 +129,12 @@ impl BatchEngine {
     /// Runs every job, returning one outcome per job in job order.
     ///
     /// Failures are per-job: an invalid configuration, a model error, or
-    /// even a panicking worker surfaces as that job's [`ExecError`] while
-    /// the rest of the batch completes.
+    /// even a panicking worker surfaces as that job's [`BatchError`] —
+    /// which names the job and its configuration — while the rest of the
+    /// batch completes.
     #[must_use]
-    pub fn run(&self, jobs: &[BatchJob]) -> Vec<Result<Prediction, ExecError>> {
-        self.run_with_injection(jobs, None)
+    pub fn run(&self, jobs: &[BatchJob]) -> Vec<Result<Prediction, BatchError>> {
+        self.run_with(jobs, &BatchOptions::default())
     }
 
     /// [`BatchEngine::run`] with an optional deliberate fault, exposed for
@@ -135,7 +144,28 @@ impl BatchEngine {
         &self,
         jobs: &[BatchJob],
         inject: Option<FaultInjection>,
-    ) -> Vec<Result<Prediction, ExecError>> {
+    ) -> Vec<Result<Prediction, BatchError>> {
+        self.run_with(
+            jobs,
+            &BatchOptions { injections: inject.into_iter().collect(), ..BatchOptions::default() },
+        )
+    }
+
+    /// The resilient batch entry point: [`BatchEngine::run`] under a
+    /// [`BatchOptions`] bundle of deadline, per-job timeout, retry,
+    /// circuit-breaker, and journal/resume behavior.
+    ///
+    /// Jobs that exhaust their time budget fail with
+    /// [`ExecError::Deadline`]; explicitly cancelled runs with
+    /// [`ExecError::Cancelled`]; jobs skipped by an open breaker with
+    /// [`ExecError::CircuitOpen`]. Every other job completes normally —
+    /// byte-identical to an unconstrained run.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        jobs: &[BatchJob],
+        opts: &BatchOptions,
+    ) -> Vec<Result<Prediction, BatchError>> {
         let _span = gpumech_obs::span!("exec.batch.run", jobs = jobs.len(), workers = self.workers);
         // Fingerprint each distinct trace once, not once per job: a
         // config sweep shares one `Arc`d trace across many jobs, and the
@@ -152,23 +182,196 @@ impl BatchEngine {
                 config: analysis_config_fingerprint(&job.cfg),
             })
             .collect();
-        let opts = PoolOptions { workers: self.effective_workers(), inject };
-        run_indexed(&opts, jobs, |i, job| {
-            // Validate the *full* configuration before consulting the
-            // cache: the fingerprint deliberately ignores prediction-stage
-            // fields, so a NaN bandwidth must not ride in on a cache hit.
-            job.cfg.validate().map_err(|e| ExecError::Model(ModelError::InvalidConfig(e)))?;
-            let model = Gpumech::new(job.cfg.clone());
-            let analysis = self
-                .cache
-                .get_or_compute(keys[i], || model.analyze(&job.trace))?;
-            let request = PredictionRequest::from_analysis(&analysis)
-                .policy(job.policy)
-                .model(job.model)
-                .selection(job.selection)
-                .weighting(job.weighting);
-            model.run(&request).map_err(ExecError::Model)
-        })
+        let fingerprints: Vec<u64> =
+            jobs.iter().zip(&keys).map(|(job, key)| job_fingerprint(key.trace, job)).collect();
+
+        let journal = opts.journal.as_ref().map(Journal::new);
+        let completed = if opts.resume {
+            journal.as_ref().map(Journal::load).unwrap_or_default()
+        } else {
+            HashMap::new()
+        };
+        let breaker = opts.breaker_threshold.map(CircuitBreaker::new);
+        let run_token = opts.run_token();
+
+        // Pool-level fault kinds go to the pool; batch-level kinds are
+        // interpreted inside the task below.
+        let pool_inject = opts
+            .injections
+            .iter()
+            .copied()
+            .find(|f| matches!(f.kind, FaultKind::TaskPanic | FaultKind::PanicHoldingQueueLock));
+        let pool_opts = PoolOptions { workers: self.effective_workers(), inject: pool_inject };
+
+        let results = run_indexed(&pool_opts, jobs, |i, job| {
+            if let Some(entry) = completed.get(&fingerprints[i]) {
+                gpumech_obs::counter!("exec.resilience.journal_hits");
+                return serde_json::from_str::<Prediction>(&entry.prediction).map_err(|e| {
+                    ExecError::Model(ModelError::Execution(format!("journal replay: {e}")))
+                });
+            }
+            // Check the whole-run budget before spending anything on this
+            // job (jobs the run outlived fail fast and uniformly), then
+            // the breaker, then actually attempt it. Skipped jobs record
+            // nothing against the breaker — only real attempts count.
+            let mut outcome = match run_token.check().map_err(interrupt_error) {
+                Err(e) => Err(e),
+                Ok(()) => match breaker.as_ref().and_then(|b| b.is_open(&job.trace.name)) {
+                    Some(failures) => {
+                        gpumech_obs::counter!("exec.resilience.breaker_open");
+                        Err(ExecError::CircuitOpen { kernel: job.trace.name.clone(), failures })
+                    }
+                    None => {
+                        let outcome = self.run_job_with_retries(i, job, keys[i], opts, &run_token);
+                        if let Some(b) = &breaker {
+                            match &outcome {
+                                Ok(_) => b.record_success(&job.trace.name),
+                                Err(_) => {
+                                    if b.record_failure(&job.trace.name) {
+                                        gpumech_obs::counter!("exec.resilience.breaker_trips");
+                                    }
+                                }
+                            }
+                        }
+                        outcome
+                    }
+                },
+            };
+            match &outcome {
+                Err(ExecError::Deadline) => gpumech_obs::counter!("exec.resilience.deadline"),
+                Err(ExecError::Cancelled) => gpumech_obs::counter!("exec.resilience.cancelled"),
+                _ => {}
+            }
+            if let (Ok(p), Some(j)) = (&mut outcome, &journal) {
+                if let Ok(json) = canonical_prediction_json(p) {
+                    // A failed append costs resumability, not correctness;
+                    // the warning travels with the prediction.
+                    if let Err(w) = j.append(fingerprints[i], &job.label, &json) {
+                        p.warnings.push(format!("cache: {w}"));
+                    }
+                }
+            }
+            outcome
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.map_err(|error| BatchError {
+                    label: jobs[i].label.clone(),
+                    config_fingerprint: fingerprints[i],
+                    error,
+                })
+            })
+            .collect()
+    }
+
+    /// One job under the retry loop: a panic *inside* an attempt is caught
+    /// and retried (with backoff) up to `opts.retries` times; every other
+    /// outcome — success, model error, expired budget — is final.
+    fn run_job_with_retries(
+        &self,
+        i: usize,
+        job: &BatchJob,
+        key: CacheKey,
+        opts: &BatchOptions,
+        run_token: &CancelToken,
+    ) -> Result<Prediction, ExecError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let token = opts.job_token(run_token);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                self.run_job_once(i, job, key, opts, &token, attempt)
+            }));
+            match caught {
+                Ok(outcome) => return outcome,
+                Err(payload) => {
+                    let message = panic_message(&*payload);
+                    if attempt >= opts.retries {
+                        return Err(ExecError::WorkerPanic { item: i, message });
+                    }
+                    gpumech_obs::counter!("exec.resilience.retries");
+                    std::thread::sleep(Duration::from_nanos(
+                        opts.retry_policy.delay_ns(i as u64, attempt),
+                    ));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One attempt of one job, under its per-attempt token.
+    fn run_job_once(
+        &self,
+        i: usize,
+        job: &BatchJob,
+        key: CacheKey,
+        opts: &BatchOptions,
+        token: &CancelToken,
+        attempt: u32,
+    ) -> Result<Prediction, ExecError> {
+        for f in &opts.injections {
+            if f.item != i {
+                continue;
+            }
+            match f.kind {
+                // A hung job: never terminates on its own, only by its
+                // token firing. Each poll advances a FakeClock, so
+                // fake-time tests terminate too.
+                FaultKind::SlowJob => loop {
+                    token.check().map_err(interrupt_error)?;
+                    std::hint::spin_loop();
+                },
+                // Panics on the first attempt only — a retry recovers it.
+                FaultKind::TransientPanic if attempt == 0 => {
+                    maybe_inject(Some(*f), i, FaultKind::TransientPanic);
+                }
+                _ => {}
+            }
+        }
+        // Validate the *full* configuration before consulting the
+        // cache: the fingerprint deliberately ignores prediction-stage
+        // fields, so a NaN bandwidth must not ride in on a cache hit.
+        job.cfg.validate().map_err(|e| ExecError::Model(ModelError::InvalidConfig(e)))?;
+        let model = Gpumech::new(job.cfg.clone());
+        let (analysis, cache_warnings) = self
+            .cache
+            .get_or_compute_logged(key, || model.analyze_cancellable(&job.trace, token))?;
+        let request = PredictionRequest::from_analysis(&analysis)
+            .policy(job.policy)
+            .model(job.model)
+            .selection(job.selection)
+            .weighting(job.weighting)
+            .cancel(token.clone());
+        let mut p = model.run(&request).map_err(ExecError::from)?;
+        // Disk-layer incidents (quarantined corrupt entries, failed
+        // persists) ride along as warnings: environmental, so prefixed and
+        // stripped from the canonical JSON used for byte-identity.
+        p.warnings.extend(cache_warnings.into_iter().map(|w| format!("cache: {w}")));
+        Ok(p)
+    }
+}
+
+/// Fingerprint identifying one batch job for the resume journal: the
+/// trace content, the *full* configuration (prediction-stage fields
+/// included — they change the answer even when they don't change the
+/// analysis), every pipeline option, and the label (so two sweep points
+/// that happen to share a config stay distinct).
+#[must_use]
+pub fn job_fingerprint(trace_fp: u64, job: &BatchJob) -> u64 {
+    let cfg = serde_json::to_string(&job.cfg).unwrap_or_else(|_| format!("{:?}", job.cfg));
+    let blob = format!(
+        "{trace_fp:016x}|{}|{cfg}|{:?}|{:?}|{:?}|{:?}",
+        job.label, job.policy, job.model, job.selection, job.weighting
+    );
+    payload_checksum(blob.as_bytes())
+}
+
+/// Maps a pipeline interrupt to its execution-layer error.
+fn interrupt_error(why: Interrupt) -> ExecError {
+    match why {
+        Interrupt::DeadlineExceeded => ExecError::Deadline,
+        Interrupt::Cancelled => ExecError::Cancelled,
     }
 }
 
@@ -200,8 +403,10 @@ pub fn analyze_parallel(
 }
 
 /// Canonical JSON of a prediction for byte-identity assertions: wall-clock
-/// stage timings (the only nondeterministic bytes in a [`Prediction`]) are
-/// zeroed before serializing.
+/// stage timings and `cache: `-prefixed warnings (the only
+/// environment-dependent bytes in a [`Prediction`] — a quarantined disk
+/// entry changes what happened, not what was predicted) are dropped
+/// before serializing.
 ///
 /// # Errors
 ///
@@ -212,6 +417,7 @@ pub fn canonical_prediction_json(p: &Prediction) -> Result<String, ModelError> {
     for stage in &mut canon.report.stages {
         stage.wall_ns = 0;
     }
+    canon.warnings.retain(|w| !w.starts_with("cache: "));
     serde_json::to_string(&canon).map_err(|e| ModelError::Execution(format!("serialize: {e}")))
 }
 
@@ -261,13 +467,27 @@ mod tests {
     }
 
     #[test]
-    fn invalid_config_fails_only_its_job() {
+    fn invalid_config_fails_only_its_job_and_names_it() {
         let mut jobs =
             vec![job("sdk_vectoradd", SimConfig::default()), job("bfs_kernel1", SimConfig::default())];
         jobs[1].cfg.num_mshrs = 0;
         let out = BatchEngine::new(2).run(&jobs);
         assert!(out[0].is_ok());
-        assert!(matches!(&out[1], Err(ExecError::Model(ModelError::InvalidConfig(_)))));
+        let err = out[1].as_ref().unwrap_err();
+        assert!(matches!(err.error, ExecError::Model(ModelError::InvalidConfig(_))));
+        // The error payload identifies the failing job without positional
+        // bookkeeping: its label and its config fingerprint.
+        assert_eq!(err.label, "bfs_kernel1");
+        let key = cache_key_for(&jobs[1]);
+        assert_eq!(err.config_fingerprint, job_fingerprint(key.trace, &jobs[1]));
+        assert!(err.to_string().contains("bfs_kernel1"), "{err}");
+    }
+
+    fn cache_key_for(job: &BatchJob) -> CacheKey {
+        CacheKey {
+            trace: trace_fingerprint(&job.trace),
+            config: analysis_config_fingerprint(&job.cfg),
+        }
     }
 
     #[test]

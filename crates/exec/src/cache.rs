@@ -19,6 +19,7 @@
 //! does zero analysis work purely from those counters.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fs;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
@@ -154,17 +155,155 @@ pub fn cache_key(trace: &KernelTrace, cfg: &SimConfig) -> CacheKey {
     CacheKey { trace: trace_fingerprint(trace), config: analysis_config_fingerprint(cfg) }
 }
 
+/// Magic + version tag opening every on-disk cache entry. Bumping the
+/// version invalidates (quarantines) all previously written entries.
+pub const DISK_FORMAT_TAG: &str = "GPUMECH-CACHE v2";
+
+/// Checksum of an on-disk payload: the same lane-widened FNV-1a used for
+/// fingerprints, applied to the raw payload bytes.
+#[must_use]
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Why a disk entry was rejected and quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiskDefect {
+    /// Missing/foreign magic line or wrong format version.
+    Header,
+    /// Header `len` disagrees with the actual payload size (truncation or
+    /// trailing garbage).
+    Length,
+    /// Checksum mismatch (bit rot, torn write).
+    Checksum,
+    /// Header and checksum fine but the JSON payload did not deserialize
+    /// (schema drift).
+    Payload,
+}
+
+impl fmt::Display for DiskDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskDefect::Header => write!(f, "bad or missing header"),
+            DiskDefect::Length => write!(f, "payload length mismatch (truncated?)"),
+            DiskDefect::Checksum => write!(f, "checksum mismatch"),
+            DiskDefect::Payload => write!(f, "unparsable payload"),
+        }
+    }
+}
+
+/// Encodes one entry in the on-disk format:
+/// `GPUMECH-CACHE v2 len=<bytes> crc=<16-hex>\n<json payload>`.
+fn encode_disk_entry(json: &str) -> String {
+    let payload = json.as_bytes();
+    format!(
+        "{DISK_FORMAT_TAG} len={} crc={:016x}\n{json}",
+        payload.len(),
+        payload_checksum(payload)
+    )
+}
+
+/// Validates header, length, and checksum and returns the payload slice.
+fn decode_disk_entry(text: &str) -> Result<&str, DiskDefect> {
+    let (header, payload) = text.split_once('\n').ok_or(DiskDefect::Header)?;
+    let rest = header.strip_prefix(DISK_FORMAT_TAG).ok_or(DiskDefect::Header)?;
+    let mut len = None;
+    let mut crc = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse::<usize>().ok();
+        } else if let Some(v) = field.strip_prefix("crc=") {
+            crc = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(len), Some(crc)) = (len, crc) else { return Err(DiskDefect::Header) };
+    if payload.len() != len {
+        return Err(DiskDefect::Length);
+    }
+    if payload_checksum(payload.as_bytes()) != crc {
+        return Err(DiskDefect::Checksum);
+    }
+    Ok(payload)
+}
+
+/// In-memory cache state: entries tagged with a logical access clock so
+/// eviction can drop the least-recently-used one.
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<CacheKey, (Arc<Analysis>, u64)>,
+    tick: u64,
+}
+
+impl CacheState {
+    fn touch(&mut self, key: CacheKey) -> Option<Arc<Analysis>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|(a, used)| {
+            *used = tick;
+            Arc::clone(a)
+        })
+    }
+
+    /// Inserts (or refreshes) `key` and evicts least-recently-used entries
+    /// beyond `cap`. Returns the canonical `Arc` for `key` plus how many
+    /// entries were evicted.
+    fn insert_capped(
+        &mut self,
+        key: CacheKey,
+        value: Arc<Analysis>,
+        cap: Option<usize>,
+    ) -> (Arc<Analysis>, u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let arc =
+            Arc::clone(&self.entries.entry(key).or_insert((value, tick)).0);
+        let mut evicted = 0u64;
+        if let Some(cap) = cap {
+            let cap = cap.max(1);
+            while self.entries.len() > cap {
+                let victim = self
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, (_, used))| *used)
+                    .map(|(k, _)| *k);
+                let Some(victim) = victim else { break };
+                self.entries.remove(&victim);
+                evicted += 1;
+            }
+        }
+        (arc, evicted)
+    }
+}
+
 /// Content-addressed, thread-safe cache of [`Analysis`] results.
 ///
 /// In-memory always; [`ProfileCache::with_disk`] additionally persists
-/// entries as JSON files named `<trace>-<config>.json` under a directory,
-/// surviving process restarts. Disk failures (unreadable file, stale
-/// schema) are never fatal: they count as misses and are tallied under
-/// `exec.cache.disk_errors`.
+/// entries under a directory as `<trace>-<config>.json` files in a
+/// versioned, checksummed envelope (see [`DISK_FORMAT_TAG`]), surviving
+/// process restarts and — by design — process *crashes*:
+///
+/// * **Atomic writes** — entries are written to a `.tmp` sibling and
+///   renamed into place, so a reader never observes a half-written file;
+///   a crash mid-write leaves only a stale `.tmp`, which the next
+///   [`ProfileCache::with_disk`] sweeps away.
+/// * **Corruption quarantine** — an entry whose header, length, checksum,
+///   or payload fails validation is renamed to `<file>.quarantine`
+///   (preserved for inspection, never re-read), counted under
+///   `exec.cache.quarantined`, reported as a warning, and recomputed.
+/// * **Bounded memory** — [`ProfileCache::with_capacity`] caps the
+///   in-memory map with least-recently-used eviction
+///   (`exec.cache.evictions`); evicted entries remain on disk.
+///
+/// Disk failures are never fatal: they count as misses and are tallied
+/// under `exec.cache.disk_errors`.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
-    map: Mutex<HashMap<CacheKey, Arc<Analysis>>>,
+    state: Mutex<CacheState>,
     disk_dir: Option<PathBuf>,
+    max_entries: Option<usize>,
 }
 
 impl ProfileCache {
@@ -175,10 +314,35 @@ impl ProfileCache {
     }
 
     /// A cache that also persists entries under `dir` (created on first
-    /// write if missing).
+    /// write if missing). Stale `.tmp` files left by a crashed writer are
+    /// removed immediately.
     #[must_use]
     pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
-        Self { map: Mutex::new(HashMap::new()), disk_dir: Some(dir.into()) }
+        let dir = dir.into();
+        Self::sweep_stale_tmp(&dir);
+        Self { state: Mutex::new(CacheState::default()), disk_dir: Some(dir), max_entries: None }
+    }
+
+    /// Caps the in-memory map at `max_entries` (minimum 1) with LRU
+    /// eviction. Disk persistence, if configured, is unaffected: evicted
+    /// entries reload from disk on their next use.
+    #[must_use]
+    pub fn with_capacity(mut self, max_entries: usize) -> Self {
+        self.max_entries = Some(max_entries.max(1));
+        self
+    }
+
+    /// Removes leftover `.tmp` files from a previous writer that died
+    /// mid-store. Rename is atomic, so anything still named `.tmp` is by
+    /// definition an incomplete write.
+    fn sweep_stale_tmp(dir: &std::path::Path) {
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") && fs::remove_file(&path).is_ok() {
+                gpumech_obs::counter!("exec.cache.stale_tmp_removed");
+            }
+        }
     }
 
     /// Number of entries currently held in memory.
@@ -188,7 +352,7 @@ impl ProfileCache {
     /// Never: lock poisoning is recovered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(PoisonError::into_inner).len()
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).entries.len()
     }
 
     /// `true` if no entry is held in memory.
@@ -203,34 +367,72 @@ impl ProfileCache {
             .map(|d| d.join(format!("{:016x}-{:016x}.json", key.trace, key.config)))
     }
 
-    fn load_from_disk(&self, key: CacheKey) -> Option<Analysis> {
+    /// Moves a corrupt entry aside (never deletes it — the bytes are
+    /// evidence) and reports what was wrong with it.
+    fn quarantine(path: &std::path::Path, defect: DiskDefect, warnings: &mut Vec<String>) {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".quarantine");
+        let moved = fs::rename(path, &target).is_ok();
+        gpumech_obs::counter!("exec.cache.quarantined");
+        warnings.push(format!(
+            "cache entry {} failed validation ({defect}); {} and recomputing",
+            path.display(),
+            if moved { "quarantined" } else { "could not be quarantined" },
+        ));
+    }
+
+    fn load_from_disk(&self, key: CacheKey, warnings: &mut Vec<String>) -> Option<Analysis> {
         let path = self.disk_path(key)?;
-        let text = fs::read_to_string(&path).ok()?;
-        match serde_json::from_str::<Analysis>(&text) {
+        // A missing file is the common cold-cache case, not a defect.
+        let Ok(bytes) = fs::read(&path) else { return None };
+        // An existing file that is not UTF-8 *is* a defect (bit rot in a
+        // format that is pure ASCII header + JSON).
+        let Ok(text) = String::from_utf8(bytes) else {
+            Self::quarantine(&path, DiskDefect::Payload, warnings);
+            return None;
+        };
+        let payload = match decode_disk_entry(&text) {
+            Ok(p) => p,
+            Err(defect) => {
+                Self::quarantine(&path, defect, warnings);
+                return None;
+            }
+        };
+        match serde_json::from_str::<Analysis>(payload) {
             Ok(a) => Some(a),
             Err(_) => {
-                gpumech_obs::counter!("exec.cache.disk_errors");
+                Self::quarantine(&path, DiskDefect::Payload, warnings);
                 None
             }
         }
     }
 
-    fn store_to_disk(&self, key: CacheKey, analysis: &Analysis) {
+    fn store_to_disk(&self, key: CacheKey, analysis: &Analysis, warnings: &mut Vec<String>) {
         let Some(path) = self.disk_path(key) else { return };
-        let stored = self.disk_dir.as_ref().is_some_and(|dir| {
-            fs::create_dir_all(dir).is_ok()
-                && serde_json::to_string(analysis)
-                    .is_ok_and(|json| fs::write(&path, json).is_ok())
-        });
+        let Some(dir) = self.disk_dir.as_ref() else { return };
+        // Write to a sibling and rename into place: readers either see the
+        // previous complete entry or the new complete entry, never a torn
+        // one. A crash between write and rename leaves a `.tmp` that the
+        // next `with_disk` sweeps.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let stored = fs::create_dir_all(dir).is_ok()
+            && serde_json::to_string(analysis).is_ok_and(|json| {
+                fs::write(&tmp, encode_disk_entry(&json)).is_ok()
+                    && fs::rename(&tmp, &path).is_ok()
+            });
         if stored {
             gpumech_obs::counter!("exec.cache.disk_writes");
         } else {
             gpumech_obs::counter!("exec.cache.disk_errors");
+            warnings.push(format!("failed to persist cache entry {}", path.display()));
         }
     }
 
     /// Returns the cached [`Analysis`] for `key`, computing and inserting
-    /// it via `compute` on a miss.
+    /// it via `compute` on a miss. Disk-layer incidents (quarantined
+    /// corrupt entries, failed writes) are discarded; use
+    /// [`ProfileCache::get_or_compute_logged`] to observe them.
     ///
     /// The lock is **not** held during `compute`, so concurrent workers
     /// analyzing different keys proceed in parallel. Two workers racing on
@@ -244,31 +446,51 @@ impl ProfileCache {
     where
         F: FnOnce() -> Result<Analysis, ModelError>,
     {
-        if let Some(hit) = self.map.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        self.get_or_compute_logged(key, compute).map(|(a, _)| a)
+    }
+
+    /// [`ProfileCache::get_or_compute`] that additionally returns the
+    /// disk-layer warnings raised while serving this key (quarantined
+    /// corrupt entries, failed persists). Empty on the happy path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever `compute` returns on a miss.
+    pub fn get_or_compute_logged<F>(
+        &self,
+        key: CacheKey,
+        compute: F,
+    ) -> Result<(Arc<Analysis>, Vec<String>), ModelError>
+    where
+        F: FnOnce() -> Result<Analysis, ModelError>,
+    {
+        let mut warnings = Vec::new();
+        if let Some(hit) =
+            self.state.lock().unwrap_or_else(PoisonError::into_inner).touch(key)
+        {
             gpumech_obs::counter!("exec.cache.hits");
-            return Ok(Arc::clone(hit));
+            return Ok((hit, warnings));
         }
-        if let Some(from_disk) = self.load_from_disk(key) {
+        if let Some(from_disk) = self.load_from_disk(key, &mut warnings) {
             gpumech_obs::counter!("exec.cache.disk_hits");
-            let arc = Arc::new(from_disk);
-            return Ok(Arc::clone(
-                self.map
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .entry(key)
-                    .or_insert(arc),
-            ));
+            return Ok((self.insert(key, Arc::new(from_disk)), warnings));
         }
         gpumech_obs::counter!("exec.cache.misses");
         let computed = Arc::new(compute()?);
-        self.store_to_disk(key, &computed);
-        Ok(Arc::clone(
-            self.map
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .entry(key)
-                .or_insert(computed),
-        ))
+        self.store_to_disk(key, &computed, &mut warnings);
+        Ok((self.insert(key, computed), warnings))
+    }
+
+    fn insert(&self, key: CacheKey, value: Arc<Analysis>) -> Arc<Analysis> {
+        let (arc, evicted) = self
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert_capped(key, value, self.max_entries);
+        if evicted > 0 {
+            gpumech_obs::counter!("exec.cache.evictions", evicted);
+        }
+        arc
     }
 }
 
@@ -390,5 +612,111 @@ mod tests {
         let err = cache.get_or_compute(key, || Err(ModelError::EmptyKernel)).unwrap_err();
         assert_eq!(err, ModelError::EmptyKernel);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn disk_envelope_round_trips_and_rejects_each_defect() {
+        let entry = encode_disk_entry(r#"{"x":1}"#);
+        assert_eq!(decode_disk_entry(&entry).unwrap(), r#"{"x":1}"#);
+        // Wrong version tag.
+        let old = entry.replace("v2", "v1");
+        assert_eq!(decode_disk_entry(&old), Err(DiskDefect::Header));
+        // Truncated payload: header length no longer matches.
+        let truncated = &entry[..entry.len() - 2];
+        assert_eq!(decode_disk_entry(truncated), Err(DiskDefect::Length));
+        // Same-length payload corruption: checksum catches it.
+        let flipped = entry.replace(r#"{"x":1}"#, r#"{"x":2}"#);
+        assert_eq!(decode_disk_entry(&flipped), Err(DiskDefect::Checksum));
+        // No header line at all (a v1-era bare-JSON file).
+        assert_eq!(decode_disk_entry(r#"{"x":1}"#), Err(DiskDefect::Header));
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_quarantined_and_recomputed() {
+        let dir =
+            std::env::temp_dir().join(format!("gpumech-cache-quarantine-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let trace = small_trace("sdk_vectoradd");
+        let cfg = SimConfig::default();
+        let key = cache_key(&trace, &cfg);
+        {
+            let cache = ProfileCache::with_disk(&dir);
+            cache.get_or_compute(key, || Gpumech::new(cfg.clone()).analyze(&trace)).unwrap();
+        }
+        // Corrupt the stored entry in place (flip a payload byte).
+        let path = dir.join(format!("{:016x}-{:016x}.json", key.trace, key.config));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let cold = ProfileCache::with_disk(&dir);
+        let mut computed = false;
+        let (got, warnings) = cold
+            .get_or_compute_logged(key, || {
+                computed = true;
+                Gpumech::new(cfg.clone()).analyze(&trace)
+            })
+            .unwrap();
+        assert!(computed, "corrupt entry must be recomputed, not trusted");
+        assert_eq!(got.profiles.len(), trace.warps.len());
+        assert_eq!(warnings.len(), 1, "one warning for the quarantined entry: {warnings:?}");
+        assert!(warnings[0].contains("quarantined"), "{warnings:?}");
+        let mut quarantined = path.clone().into_os_string();
+        quarantined.push(".quarantine");
+        assert!(std::path::Path::new(&quarantined).exists(), "corrupt bytes must be preserved");
+        assert!(!path.exists() || decode_disk_entry(&fs::read_to_string(&path).unwrap()).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let dir = std::env::temp_dir().join(format!("gpumech-cache-tmp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("0000000000000000-0000000000000000.json.tmp");
+        fs::write(&stale, "half-written").unwrap();
+        let _cache = ProfileCache::with_disk(&dir);
+        assert!(!stale.exists(), "stale .tmp from a crashed writer must be removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_capacity_evicts_the_least_recently_used_entry() {
+        let cache = ProfileCache::in_memory().with_capacity(2);
+        let trace = small_trace("sdk_vectoradd");
+        let cfg = SimConfig::default();
+        let analysis = Gpumech::new(cfg.clone()).analyze(&trace).unwrap();
+        let key = |i: u64| CacheKey { trace: i, config: 0 };
+        for i in 0..2 {
+            cache.get_or_compute(key(i), || Ok(analysis.clone())).unwrap();
+        }
+        // Touch key 0 so key 1 becomes the LRU victim.
+        let mut recomputed = false;
+        cache
+            .get_or_compute(key(0), || {
+                recomputed = true;
+                Ok(analysis.clone())
+            })
+            .unwrap();
+        assert!(!recomputed, "key 0 must still be cached");
+        cache.get_or_compute(key(2), || Ok(analysis.clone())).unwrap();
+        assert_eq!(cache.len(), 2, "capacity must hold");
+        let mut hit0 = true;
+        cache
+            .get_or_compute(key(0), || {
+                hit0 = false;
+                Ok(analysis.clone())
+            })
+            .unwrap();
+        assert!(hit0, "recently used key 0 must survive eviction");
+        let mut hit1 = true;
+        cache
+            .get_or_compute(key(1), || {
+                hit1 = false;
+                Ok(analysis.clone())
+            })
+            .unwrap();
+        assert!(!hit1, "least-recently-used key 1 must have been evicted");
     }
 }

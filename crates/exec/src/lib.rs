@@ -27,20 +27,33 @@
 //!    available through [`batch::analyze_parallel`], built on the
 //!    [`Gpumech::analyze_with`](gpumech_core::Gpumech::analyze_with) seam.
 //!
+//! A fourth piece, the **resilience layer** ([`resilience`]), makes the
+//! batch engine safe to run unattended: whole-run deadlines and per-job
+//! timeouts propagated as [`CancelToken`](gpumech_obs::CancelToken)s
+//! through every pipeline stage, deterministic retry with jittered
+//! exponential backoff for transient worker panics, a per-kernel circuit
+//! breaker that stops feeding a kernel whose jobs keep dying, and a
+//! crash-safe completion journal that lets an interrupted sweep resume
+//! without repeating finished jobs.
+//!
 //! Everything is instrumented under the existing `gpumech-obs` scheme
-//! (`exec.pool.*`, `exec.cache.*`, `exec.batch.*` spans and counters).
+//! (`exec.pool.*`, `exec.cache.*`, `exec.batch.*`, `exec.resilience.*`
+//! spans and counters).
 
 pub mod batch;
 pub mod cache;
 pub mod pool;
+pub mod resilience;
 
 use std::fmt;
 
 use gpumech_core::ModelError;
+use gpumech_obs::Interrupt;
 
 pub use batch::{analyze_parallel, canonical_prediction_json, BatchEngine, BatchJob};
 pub use cache::{analysis_config_fingerprint, cache_key, trace_fingerprint, CacheKey, ProfileCache};
 pub use pool::{run_indexed, FaultInjection, FaultKind, PoolOptions};
+pub use resilience::{BatchOptions, CircuitBreaker, RetryPolicy};
 
 /// Error produced by the execution layer for one work item.
 ///
@@ -66,6 +79,22 @@ pub enum ExecError {
         /// Index of the item whose result vanished.
         item: usize,
     },
+    /// The job ran out of time: its per-job timeout or the whole-run
+    /// deadline fired and the pipeline aborted at its next cancellation
+    /// poll point.
+    Deadline,
+    /// The run was cancelled explicitly (a fired
+    /// [`CancelToken`](gpumech_obs::CancelToken), not a deadline).
+    Cancelled,
+    /// The per-kernel circuit breaker was open: previous jobs for the same
+    /// kernel failed too many times in a row, so this one was skipped
+    /// without being attempted.
+    CircuitOpen {
+        /// Name of the kernel whose breaker is open.
+        kernel: String,
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -78,6 +107,11 @@ impl fmt::Display for ExecError {
             ExecError::ResultLost { item } => {
                 write!(f, "result for item {item} was lost before publication")
             }
+            ExecError::Deadline => write!(f, "deadline exceeded"),
+            ExecError::Cancelled => write!(f, "cancelled"),
+            ExecError::CircuitOpen { kernel, failures } => {
+                write!(f, "circuit breaker open for kernel {kernel:?} after {failures} consecutive failures")
+            }
         }
     }
 }
@@ -86,13 +120,54 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Model(e) => Some(e),
-            ExecError::WorkerPanic { .. } | ExecError::ResultLost { .. } => None,
+            ExecError::WorkerPanic { .. }
+            | ExecError::ResultLost { .. }
+            | ExecError::Deadline
+            | ExecError::Cancelled
+            | ExecError::CircuitOpen { .. } => None,
         }
     }
 }
 
 impl From<ModelError> for ExecError {
     fn from(e: ModelError) -> Self {
-        ExecError::Model(e)
+        // An interrupted pipeline is a scheduling outcome, not a model
+        // defect: surface it as the execution-layer variant so callers can
+        // distinguish "ran out of budget" from "the model rejected it".
+        match e {
+            ModelError::Interrupted(Interrupt::DeadlineExceeded) => ExecError::Deadline,
+            ModelError::Interrupted(Interrupt::Cancelled) => ExecError::Cancelled,
+            other => ExecError::Model(other),
+        }
+    }
+}
+
+/// One batch job's failure, carrying enough identity to act on it: the
+/// job's human-readable label (which names the kernel) and the
+/// fingerprint of its full configuration, alongside the typed error.
+///
+/// The batch engine returns this instead of a bare [`ExecError`] so a
+/// report line like `bfs_kernel1 @ 96GB/s: deadline exceeded` can be
+/// produced without re-deriving which job the error belonged to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// The failing job's label (kernel name plus sweep point).
+    pub label: String,
+    /// Fingerprint of the job's full configuration and options (the same
+    /// fingerprint the resume journal keys on).
+    pub config_fingerprint: u64,
+    /// What went wrong.
+    pub error: ExecError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {:?} (config {:016x}): {}", self.label, self.config_fingerprint, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }

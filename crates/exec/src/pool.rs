@@ -27,6 +27,13 @@ use std::sync::{Mutex, PoisonError};
 use crate::ExecError;
 
 /// Which fault the pool should inject (test/fault-suite hook).
+///
+/// The first two are *pool-level* faults triggered by the injection
+/// checks inside [`run_indexed`]. The remaining
+/// kinds are *batch-level* faults interpreted by
+/// [`BatchEngine::run_with`](crate::batch::BatchEngine::run_with) inside
+/// the job task itself — the pool never matches them, so they pass
+/// through `run_indexed` unnoticed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// Panic at the start of the victim item's task.
@@ -34,6 +41,14 @@ pub enum FaultKind {
     /// Panic after acquiring the result-queue lock for the victim item,
     /// poisoning the mutex with the result unpublished.
     PanicHoldingQueueLock,
+    /// Batch-level: the victim job never terminates on its own — it spins
+    /// polling its [`CancelToken`](gpumech_obs::CancelToken) until a
+    /// timeout or deadline fires. Models a hung analysis.
+    SlowJob,
+    /// Batch-level: the victim job panics on its *first* attempt only, so
+    /// a retry policy with at least one retry recovers it. Models a
+    /// transient fault.
+    TransientPanic,
 }
 
 /// A deliberate fault to inject into one work item.
@@ -72,10 +87,11 @@ impl PoolOptions {
 /// Deliberately panics when `inject` targets item `i` with `kind`.
 ///
 /// The only sanctioned panic site in this crate: it exists so the fault
-/// suite can prove the pool contains arbitrary task panics, and it is
-/// disabled (`inject: None`) on every production path.
+/// suite can prove the pool (and the batch retry loop, which calls it for
+/// [`FaultKind::TransientPanic`]) contains arbitrary task panics, and it
+/// is disabled (`inject: None`) on every production path.
 #[allow(clippy::panic)]
-fn maybe_inject(inject: Option<FaultInjection>, i: usize, kind: FaultKind) {
+pub(crate) fn maybe_inject(inject: Option<FaultInjection>, i: usize, kind: FaultKind) {
     if let Some(f) = inject {
         if f.item == i && f.kind == kind {
             panic!("injected fault {kind:?} on item {i}");
@@ -84,7 +100,7 @@ fn maybe_inject(inject: Option<FaultInjection>, i: usize, kind: FaultKind) {
 }
 
 /// Renders a caught panic payload for the error message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,0 +1,410 @@
+//! The resilience layer: everything that makes a batch sweep safe to run
+//! unattended.
+//!
+//! Three mechanisms, all deterministic and all observable under
+//! `exec.resilience.*`:
+//!
+//! * **Time budgets** — [`BatchOptions::deadline_ms`] bounds the whole
+//!   run and [`BatchOptions::timeout_ms`] bounds each job. Both become
+//!   [`CancelToken`]s (the per-job token a
+//!   *child* of the run token, so a run-level interrupt wins) that every
+//!   pipeline stage polls; an expired budget surfaces as
+//!   [`ExecError::Deadline`](crate::ExecError::Deadline) for exactly the
+//!   jobs that ran out of time.
+//! * **Retry with backoff** — a worker panic *inside* a job attempt is
+//!   caught and the attempt repeated up to [`BatchOptions::retries`]
+//!   times, sleeping a [`RetryPolicy`]-computed delay in between. The
+//!   delay schedule is a pure function of (seed, job, attempt) — splitmix64
+//!   jitter over exponential growth — so tests can assert it without
+//!   clocks or sleeping.
+//! * **Circuit breaker** — a per-kernel consecutive-failure counter; once
+//!   it reaches the threshold, remaining jobs for that kernel are skipped
+//!   with [`ExecError::CircuitOpen`](crate::ExecError::CircuitOpen)
+//!   instead of burning budget on a kernel that keeps dying.
+//!
+//! The completion **journal** ([`Journal`]) rounds this out: every
+//! finished job appends one JSON line (fingerprint, label, canonical
+//! prediction) with a single atomic `O_APPEND` write, and a rerun with
+//! `resume` replays those predictions instead of recomputing them. A
+//! torn final line from a killed process fails to parse and is simply
+//! treated as not-completed.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use gpumech_obs::CancelToken;
+use serde::{Deserialize, Serialize};
+
+use crate::pool::FaultInjection;
+
+/// Deterministic exponential backoff with splitmix64 jitter.
+///
+/// The delay for `(job, attempt)` is a pure function of the policy and
+/// those two numbers: `base * 2^attempt`, capped at `max`, with the top
+/// half of the range replaced by hash-derived jitter so simultaneous
+/// retries de-synchronize. No RNG state, no clock — the full schedule can
+/// be asserted in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in nanoseconds.
+    pub base_delay_ns: u64,
+    /// Upper bound on any single delay, in nanoseconds.
+    pub max_delay_ns: u64,
+    /// Seed mixed into the jitter hash (vary per run to decorrelate).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 1ms base, 100ms cap: long enough to skip a transient resource
+        // spike, short enough not to dominate a test suite.
+        Self { base_delay_ns: 1_000_000, max_delay_ns: 100_000_000, seed: 0 }
+    }
+}
+
+/// The splitmix64 finalizer — the same avalanche the cache fingerprints
+/// use, here as a stateless jitter hash.
+fn splitmix64(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl RetryPolicy {
+    /// The delay to sleep before retry number `attempt` (0-based: the
+    /// delay between the first failure and the second attempt) of job
+    /// `job`. Pure and deterministic.
+    #[must_use]
+    pub fn delay_ns(&self, job: u64, attempt: u32) -> u64 {
+        let exp = self
+            .base_delay_ns
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_delay_ns);
+        // Full jitter over [exp/2, exp]: keeps the exponential envelope
+        // while spreading concurrent retries.
+        let half = exp / 2;
+        let jitter_range = exp - half;
+        if jitter_range == 0 {
+            return exp;
+        }
+        let jitter = splitmix64(self.seed ^ job.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt));
+        half + (jitter % (jitter_range + 1))
+    }
+}
+
+/// Per-kernel circuit breaker: after `threshold` *consecutive* failures
+/// for one kernel, further jobs for that kernel are skipped until a
+/// success (never, within one batch, unless a retry succeeds first).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: Mutex<HashMap<String, u32>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures
+    /// (minimum 1).
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        Self { threshold: threshold.max(1), consecutive: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Returns `Some(consecutive_failures)` when the breaker for `kernel`
+    /// is open (the job should be skipped), `None` when it may run.
+    #[must_use]
+    pub fn is_open(&self, kernel: &str) -> Option<u32> {
+        let map = self.consecutive.lock().unwrap_or_else(PoisonError::into_inner);
+        map.get(kernel).copied().filter(|&n| n >= self.threshold)
+    }
+
+    /// Records a successful job for `kernel`, closing its breaker.
+    pub fn record_success(&self, kernel: &str) {
+        self.consecutive.lock().unwrap_or_else(PoisonError::into_inner).remove(kernel);
+    }
+
+    /// Records a failed job for `kernel`; returns `true` when this
+    /// failure is the one that trips the breaker open.
+    pub fn record_failure(&self, kernel: &str) -> bool {
+        let mut map = self.consecutive.lock().unwrap_or_else(PoisonError::into_inner);
+        let n = map.entry(kernel.to_owned()).or_insert(0);
+        *n += 1;
+        *n == self.threshold
+    }
+}
+
+/// Options for a resilient batch run
+/// ([`BatchEngine::run_with`](crate::batch::BatchEngine::run_with)).
+#[derive(Debug, Default)]
+pub struct BatchOptions {
+    /// Per-job time budget in milliseconds; a job still running when it
+    /// expires aborts with [`ExecError::Deadline`](crate::ExecError::Deadline).
+    pub timeout_ms: Option<u64>,
+    /// Whole-run deadline in milliseconds; jobs that have not finished
+    /// when it fires abort with `Deadline`.
+    pub deadline_ms: Option<u64>,
+    /// Retries per job for transient (panic) failures; `0` disables
+    /// retrying.
+    pub retries: u32,
+    /// Backoff schedule between retries.
+    pub retry_policy: RetryPolicy,
+    /// Open the per-kernel circuit breaker after this many consecutive
+    /// failures; `None` disables the breaker.
+    pub breaker_threshold: Option<u32>,
+    /// Path of the completion journal; every finished job appends one
+    /// line here.
+    pub journal: Option<PathBuf>,
+    /// Replay previously journalled jobs instead of recomputing them
+    /// (requires `journal`).
+    pub resume: bool,
+    /// Deliberate faults for the fault-injection suite (empty in
+    /// production). Pool-level kinds are forwarded to the worker pool;
+    /// batch-level kinds ([`SlowJob`](crate::pool::FaultKind::SlowJob),
+    /// [`TransientPanic`](crate::pool::FaultKind::TransientPanic)) are
+    /// interpreted inside the job task.
+    pub injections: Vec<FaultInjection>,
+    /// Explicit root cancel token — supplied by tests to drive deadlines
+    /// off a [`FakeClock`](gpumech_obs::FakeClock), or by embedders that
+    /// want external cancellation. `deadline_ms`, when also set, becomes
+    /// a child of this token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl BatchOptions {
+    /// The root token for one run: the explicit token if supplied,
+    /// narrowed by `deadline_ms` when set.
+    #[must_use]
+    pub fn run_token(&self) -> CancelToken {
+        let root = self.cancel.clone().unwrap_or_default();
+        match self.deadline_ms {
+            Some(ms) if self.cancel.is_some() => root.child_with_timeout_ms(ms),
+            Some(ms) => CancelToken::with_deadline_ms(ms),
+            None => root,
+        }
+    }
+
+    /// The token one job attempt runs under: a child of `run` narrowed by
+    /// the per-job timeout, or `run` itself when no timeout is set.
+    #[must_use]
+    pub fn job_token(&self, run: &CancelToken) -> CancelToken {
+        match self.timeout_ms {
+            Some(ms) => run.child_with_timeout_ms(ms),
+            None => run.clone(),
+        }
+    }
+}
+
+/// One journal line: a completed job's identity and its canonical
+/// prediction JSON (wall-clock timings zeroed, so replay is byte-stable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// The job fingerprint (trace + full config + options), hex-encoded.
+    pub fingerprint: String,
+    /// The job's label, for human inspection of the journal.
+    pub label: String,
+    /// Canonical prediction JSON
+    /// ([`canonical_prediction_json`](crate::batch::canonical_prediction_json)).
+    pub prediction: String,
+}
+
+/// The completion journal: an append-only JSONL file of finished jobs.
+///
+/// Appends are single `write` calls on an `O_APPEND` handle, so a line is
+/// either fully present or (after a kill mid-write) a torn tail that
+/// fails to parse — [`Journal::load`] skips unparsable lines, treating
+/// those jobs as not completed. That is exactly the crash-safety contract
+/// resume needs: no job is ever *wrongly* marked done.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// A journal at `path` (the file is created on first append).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The journal's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads completed entries, keyed by fingerprint. Missing file means
+    /// an empty journal; torn or corrupt lines are skipped.
+    #[must_use]
+    pub fn load(&self) -> HashMap<u64, JournalEntry> {
+        let Ok(text) = fs::read_to_string(&self.path) else { return HashMap::new() };
+        let mut out = HashMap::new();
+        for line in text.lines() {
+            let Ok(entry) = serde_json::from_str::<JournalEntry>(line) else { continue };
+            let Ok(fp) = u64::from_str_radix(&entry.fingerprint, 16) else { continue };
+            out.insert(fp, entry);
+        }
+        out
+    }
+
+    /// Appends one completed job. The whole line (JSON + newline) goes
+    /// down in a single write on an append-mode handle; failures are
+    /// reported, not fatal (the job still completed — only resumability
+    /// is lost).
+    ///
+    /// If the file does not currently end in a newline — the debris of a
+    /// process killed mid-append — a newline is prepended first, so the
+    /// new entry starts on its own line instead of gluing onto the torn
+    /// tail (which would corrupt *this* entry too).
+    ///
+    /// # Errors
+    ///
+    /// An I/O or serialization failure message.
+    pub fn append(&self, fingerprint: u64, label: &str, prediction_json: &str) -> Result<(), String> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+
+        let entry = JournalEntry {
+            fingerprint: format!("{fingerprint:016x}"),
+            label: label.to_owned(),
+            prediction: prediction_json.to_owned(),
+        };
+        let mut line =
+            serde_json::to_string(&entry).map_err(|e| format!("journal serialize: {e}"))?;
+        line.push('\n');
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| format!("journal dir: {e}"))?;
+            }
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("journal open: {e}"))?;
+        let len = file.metadata().map_err(|e| format!("journal stat: {e}"))?.len();
+        if len > 0 {
+            file.seek(SeekFrom::Start(len - 1)).map_err(|e| format!("journal seek: {e}"))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last).map_err(|e| format!("journal read: {e}"))?;
+            if last[0] != b'\n' {
+                line.insert(0, '\n');
+            }
+        }
+        file.write_all(line.as_bytes()).map_err(|e| format!("journal write: {e}"))?;
+        gpumech_obs::counter!("exec.resilience.journal_writes");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let p = RetryPolicy { base_delay_ns: 1_000, max_delay_ns: 16_000, seed: 42 };
+        for job in 0..4u64 {
+            for attempt in 0..8u32 {
+                let d = p.delay_ns(job, attempt);
+                assert_eq!(d, p.delay_ns(job, attempt), "pure function of (job, attempt)");
+                let envelope = (1_000u64 << attempt.min(4)).min(16_000);
+                assert!(d >= envelope / 2 && d <= envelope, "job={job} attempt={attempt} d={d}");
+            }
+        }
+        // Jitter actually varies across jobs (not a constant schedule).
+        let delays: Vec<u64> = (0..16).map(|j| p.delay_ns(j, 3)).collect();
+        assert!(delays.iter().any(|&d| d != delays[0]), "{delays:?}");
+        // A different seed shifts the schedule.
+        let q = RetryPolicy { seed: 43, ..p };
+        assert!((0..16u64).any(|j| p.delay_ns(j, 3) != q.delay_ns(j, 3)));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_saturate_instead_of_overflowing() {
+        let p = RetryPolicy { base_delay_ns: 1_000, max_delay_ns: 9_000, seed: 0 };
+        assert!(p.delay_ns(0, 63) <= 9_000);
+        assert!(p.delay_ns(0, 64) <= 9_000);
+        assert!(p.delay_ns(0, u32::MAX) <= 9_000);
+    }
+
+    #[test]
+    fn breaker_opens_on_consecutive_failures_and_closes_on_success() {
+        let b = CircuitBreaker::new(3);
+        assert!(b.is_open("k").is_none());
+        assert!(!b.record_failure("k"));
+        assert!(!b.record_failure("k"));
+        assert!(b.is_open("k").is_none(), "two failures stay under the threshold");
+        assert!(b.record_failure("k"), "the third failure trips the breaker");
+        assert_eq!(b.is_open("k"), Some(3));
+        assert!(b.is_open("other").is_none(), "breakers are per kernel");
+        b.record_success("k");
+        assert!(b.is_open("k").is_none(), "success closes the breaker");
+        // A success between failures resets the consecutive count.
+        let c = CircuitBreaker::new(2);
+        c.record_failure("k");
+        c.record_success("k");
+        c.record_failure("k");
+        assert!(c.is_open("k").is_none());
+    }
+
+    #[test]
+    fn journal_round_trips_and_skips_torn_lines() {
+        let path = std::env::temp_dir()
+            .join(format!("gpumech-journal-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let j = Journal::new(&path);
+        assert!(j.load().is_empty(), "missing file is an empty journal");
+        j.append(0xabcd, "job-a", r#"{"cpi":1.0}"#).unwrap();
+        j.append(0x1234, "job-b", r#"{"cpi":2.0}"#).unwrap();
+        // Simulate a kill mid-append: a torn, unparsable tail line.
+        {
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(br#"{"fingerprint":"00ff","label":"torn"#).unwrap();
+        }
+        let loaded = j.load();
+        assert_eq!(loaded.len(), 2, "torn line must be skipped");
+        assert_eq!(loaded[&0xabcd].label, "job-a");
+        assert_eq!(loaded[&0x1234].prediction, r#"{"cpi":2.0}"#);
+        // Appending after the torn tail must self-heal: the new entry
+        // starts on a fresh line rather than gluing onto the debris.
+        j.append(0xbeef, "job-c", r#"{"cpi":3.0}"#).unwrap();
+        let healed = j.load();
+        assert_eq!(healed.len(), 3, "append after a torn tail must not lose entries");
+        assert_eq!(healed[&0xbeef].label, "job-c");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_and_job_tokens_compose_deadlines() {
+        use gpumech_obs::FakeClock;
+        use std::sync::Arc;
+
+        let none = BatchOptions::default();
+        assert!(none.run_token().check().is_ok());
+
+        // An explicit (fake-clock) token narrowed by a run deadline.
+        let clock = Arc::new(FakeClock::new(1_000));
+        let root = CancelToken::with_clock(Arc::clone(&clock) as Arc<dyn gpumech_obs::Clock>, u64::MAX);
+        let opts = BatchOptions {
+            deadline_ms: Some(1),
+            cancel: Some(root.clone()),
+            timeout_ms: Some(2),
+            ..BatchOptions::default()
+        };
+        let run = opts.run_token();
+        assert!(run.deadline_ns().is_some(), "deadline_ms must narrow the explicit token");
+        let job = opts.job_token(&run);
+        // Cancelling the root must reach the job token through two levels.
+        root.cancel();
+        assert!(job.check().is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The on-disk cache corruption fan: every mutation class the crash-safe
+//! format must survive — truncation at every 64-byte boundary, single-bit
+//! flips, a version-header mismatch, and a zero-length file — is applied
+//! to a real cache entry, and each one must be detected, quarantined, and
+//! recomputed with the final prediction byte-identical to a cold-cache
+//! run. No mutation may panic the pipeline.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gpumech_core::Gpumech;
+use gpumech_exec::{
+    cache_key, canonical_prediction_json, BatchEngine, BatchJob, CacheKey, ProfileCache,
+};
+use gpumech_isa::SimConfig;
+use gpumech_trace::workloads;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpumech-corruption-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Fixture {
+    dir: PathBuf,
+    job: BatchJob,
+    key: CacheKey,
+    entry_path: PathBuf,
+    cold_canon: String,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let dir = test_dir(tag);
+        let w = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(1);
+        let trace = Arc::new(w.trace().unwrap());
+        let cfg = SimConfig::default();
+        let key = cache_key(&trace, &cfg);
+        let entry_path = dir.join(format!("{:016x}-{:016x}.json", key.trace, key.config));
+        let job = BatchJob::new("sdk_vectoradd", trace, cfg);
+
+        // The ground truth: a cold (no disk) run of the same job.
+        let cold = BatchEngine::new(1).run(std::slice::from_ref(&job));
+        let cold_canon = canonical_prediction_json(cold[0].as_ref().unwrap()).unwrap();
+        Self { dir, job, key, entry_path, cold_canon }
+    }
+
+    /// Ensures a fresh, valid on-disk entry exists and returns its bytes.
+    fn valid_entry_bytes(&self) -> Vec<u8> {
+        if !self.entry_path.exists() {
+            let cache = ProfileCache::with_disk(&self.dir);
+            let model = Gpumech::new(self.job.cfg.clone());
+            cache.get_or_compute(self.key, || model.analyze(&self.job.trace)).unwrap();
+        }
+        assert!(self.entry_path.exists(), "warm-up must persist the entry");
+        fs::read(&self.entry_path).unwrap()
+    }
+
+    /// Runs the batch against the (mutated) disk cache and asserts the
+    /// full recovery contract: success, byte-identical prediction, a
+    /// surfaced warning, and a quarantine file.
+    fn assert_recovers(&self, what: &str) {
+        let engine =
+            BatchEngine::with_cache(1, ProfileCache::with_disk(&self.dir));
+        let out = engine.run(std::slice::from_ref(&self.job));
+        let p = out[0].as_ref().unwrap_or_else(|e| panic!("{what}: {e}"));
+        assert_eq!(
+            canonical_prediction_json(p).unwrap(),
+            self.cold_canon,
+            "{what}: recomputed prediction must be byte-identical to a cold run"
+        );
+        assert!(
+            p.warnings.iter().any(|w| w.starts_with("cache: ") && w.contains("quarantined")),
+            "{what}: the quarantine must surface as a prediction warning, got {:?}",
+            p.warnings
+        );
+        let mut q = self.entry_path.clone().into_os_string();
+        q.push(".quarantine");
+        assert!(Path::new(&q).exists(), "{what}: corrupt bytes must be preserved for inspection");
+        // Clean up for the next mutation: the quarantine file would
+        // otherwise block the next rename on some platforms' semantics.
+        let _ = fs::remove_file(&q);
+    }
+}
+
+#[test]
+fn truncation_at_every_64_byte_boundary_is_detected_and_recomputed() {
+    let fx = Fixture::new("truncate");
+    let full = fx.valid_entry_bytes();
+    assert!(full.len() > 64, "entry too small to truncate meaningfully");
+    for cut in (0..full.len()).step_by(64) {
+        fs::write(&fx.entry_path, &full[..cut]).unwrap();
+        fx.assert_recovers(&format!("truncated to {cut} bytes"));
+    }
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+#[test]
+fn single_bit_flips_are_detected_and_recomputed() {
+    let fx = Fixture::new("bitflip");
+    let full = fx.valid_entry_bytes();
+    // One flipped bit per mutated copy, swept through header and payload
+    // (every 61st byte — coprime with the 64-byte lane width, so flips
+    // land at varying lane offsets — plus both ends).
+    let mut offsets: Vec<usize> = (0..full.len()).step_by(61).collect();
+    offsets.push(full.len() - 1);
+    for off in offsets {
+        let mut mutated = full.clone();
+        mutated[off] ^= 1 << (off % 8);
+        fs::write(&fx.entry_path, &mutated).unwrap();
+        fx.assert_recovers(&format!("bit flip at byte {off}"));
+    }
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+#[test]
+fn version_header_mismatch_is_detected_and_recomputed() {
+    let fx = Fixture::new("version");
+    let full = fx.valid_entry_bytes();
+    let text = String::from_utf8(full).unwrap();
+    // A future (or past) format version must never be trusted.
+    for bogus in ["GPUMECH-CACHE v1", "GPUMECH-CACHE v3", "SOMETHING ELSE v2"] {
+        let mutated = text.replacen("GPUMECH-CACHE v2", bogus, 1);
+        fs::write(&fx.entry_path, mutated).unwrap();
+        fx.assert_recovers(&format!("header rewritten to {bogus:?}"));
+    }
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+#[test]
+fn zero_length_file_is_detected_and_recomputed() {
+    let fx = Fixture::new("zerolen");
+    let _ = fx.valid_entry_bytes();
+    fs::write(&fx.entry_path, b"").unwrap();
+    fx.assert_recovers("zero-length file");
+    let _ = fs::remove_dir_all(&fx.dir);
+}

@@ -1,0 +1,336 @@
+//! Resilience contract of the batch engine: deadlines and timeouts abort
+//! exactly the jobs that ran out of budget, retries recover transient
+//! panics, the circuit breaker stops feeding a dying kernel, and the
+//! completion journal makes an interrupted run resumable with zero repeat
+//! work — all driven off a `FakeClock`, so every assertion is
+//! deterministic.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gpumech_core::ModelError;
+use gpumech_exec::{
+    canonical_prediction_json, BatchEngine, BatchJob, BatchOptions, ExecError, FaultInjection,
+    FaultKind, ProfileCache,
+};
+use gpumech_isa::SimConfig;
+use gpumech_obs::{CancelToken, Clock, FakeClock, Recorder};
+use gpumech_trace::workloads;
+
+/// Serializes tests that install the process-global recorder.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+    RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn jobs(names: &[&str]) -> Vec<BatchJob> {
+    names
+        .iter()
+        .map(|n| {
+            let trace =
+                workloads::by_name(n).unwrap().with_blocks(1).trace().unwrap();
+            BatchJob::new(*n, Arc::new(trace), SimConfig::default())
+        })
+        .collect()
+}
+
+/// A root token on a fake clock with no deadline of its own: per-job
+/// timeouts become children sharing the clock, so time only advances when
+/// the pipeline polls.
+fn fake_clock_root(step_ns: u64) -> CancelToken {
+    CancelToken::with_clock(Arc::new(FakeClock::new(step_ns)) as Arc<dyn Clock>, u64::MAX)
+}
+
+fn counter(rec: &Recorder, name: &str) -> u64 {
+    rec.snapshot().counters.get(name).map_or(0, |c| c.total)
+}
+
+/// The headline acceptance scenario: a sweep with one never-terminating
+/// job and one panicking job completes, reports exactly those two as
+/// `Deadline` / `WorkerPanic` with their kernel names, and leaves every
+/// other prediction byte-identical to an unconstrained run.
+#[test]
+fn hung_and_panicking_jobs_fail_alone_and_named_while_the_rest_match_exactly() {
+    let names =
+        ["sdk_vectoradd", "bfs_kernel1", "kmeans_invert_mapping", "cfd_step_factor", "lud_diagonal"];
+    let all = jobs(&names);
+    let baseline: Vec<String> = BatchEngine::new(1)
+        .run(&all)
+        .into_iter()
+        .map(|r| canonical_prediction_json(&r.unwrap()).unwrap())
+        .collect();
+
+    // Job 2 hangs forever (only its timeout can stop it); job 4 panics.
+    let opts = BatchOptions {
+        timeout_ms: Some(5),
+        cancel: Some(fake_clock_root(1_000)),
+        injections: vec![
+            FaultInjection { item: 2, kind: FaultKind::SlowJob },
+            FaultInjection { item: 4, kind: FaultKind::TaskPanic },
+        ],
+        ..BatchOptions::default()
+    };
+    let out = BatchEngine::new(1).run_with(&all, &opts);
+
+    for (i, (r, want)) in out.iter().zip(&baseline).enumerate() {
+        match i {
+            2 => {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.error, ExecError::Deadline, "{e}");
+                assert_eq!(e.label, "kmeans_invert_mapping");
+                assert!(e.to_string().contains("kmeans_invert_mapping"), "{e}");
+            }
+            4 => {
+                let e = r.as_ref().unwrap_err();
+                assert!(matches!(e.error, ExecError::WorkerPanic { item: 4, .. }), "{e}");
+                assert_eq!(e.label, "lud_diagonal");
+            }
+            _ => {
+                let p = r.as_ref().unwrap_or_else(|e| panic!("job {i}: {e}"));
+                assert_eq!(&canonical_prediction_json(p).unwrap(), want, "job {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_run_deadline_bounds_the_batch_and_is_counted() {
+    let _serial = recorder_lock();
+    let all = jobs(&["sdk_vectoradd", "bfs_kernel1", "cfd_step_factor"]);
+    // The hung job is first; everything queued behind it inherits the
+    // already-expired run deadline and fails fast.
+    let opts = BatchOptions {
+        deadline_ms: Some(5),
+        cancel: Some(fake_clock_root(1_000)),
+        injections: vec![FaultInjection { item: 0, kind: FaultKind::SlowJob }],
+        ..BatchOptions::default()
+    };
+    let rec = Arc::new(Recorder::new());
+    let out = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::new(1).run_with(&all, &opts)
+    };
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(r.as_ref().unwrap_err().error, ExecError::Deadline, "job {i}");
+    }
+    assert_eq!(counter(&rec, "exec.resilience.deadline"), all.len() as u64);
+    assert_eq!(rec.open_spans(), 0);
+}
+
+#[test]
+fn explicit_cancellation_fails_every_job_as_cancelled() {
+    let _serial = recorder_lock();
+    let all = jobs(&["sdk_vectoradd", "bfs_kernel1"]);
+    let token = CancelToken::never();
+    token.cancel();
+    let opts = BatchOptions { cancel: Some(token), ..BatchOptions::default() };
+    let rec = Arc::new(Recorder::new());
+    let out = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::new(2).run_with(&all, &opts)
+    };
+    for r in &out {
+        assert_eq!(r.as_ref().unwrap_err().error, ExecError::Cancelled);
+    }
+    assert_eq!(counter(&rec, "exec.resilience.cancelled"), all.len() as u64);
+}
+
+#[test]
+fn one_retry_recovers_a_transient_panic_and_is_counted() {
+    let _serial = recorder_lock();
+    let all = jobs(&["sdk_vectoradd", "bfs_kernel1"]);
+    let inject = vec![FaultInjection { item: 1, kind: FaultKind::TransientPanic }];
+
+    // Without retries the transient panic is fatal for its job.
+    let no_retry =
+        BatchEngine::new(1).run_with(&all, &BatchOptions {
+            injections: inject.clone(),
+            ..BatchOptions::default()
+        });
+    assert!(no_retry[0].is_ok());
+    let e = no_retry[1].as_ref().unwrap_err();
+    assert!(
+        matches!(&e.error, ExecError::WorkerPanic { item: 1, message } if message.contains("TransientPanic")),
+        "{e}"
+    );
+
+    // With one retry the second attempt succeeds, byte-identical to an
+    // uninjected run.
+    let baseline = canonical_prediction_json(
+        BatchEngine::new(1).run(&all)[1].as_ref().unwrap(),
+    )
+    .unwrap();
+    let rec = Arc::new(Recorder::new());
+    let retried = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::new(1).run_with(&all, &BatchOptions {
+            injections: inject,
+            retries: 1,
+            ..BatchOptions::default()
+        })
+    };
+    let p = retried[1].as_ref().unwrap();
+    assert_eq!(canonical_prediction_json(p).unwrap(), baseline);
+    assert_eq!(counter(&rec, "exec.resilience.retries"), 1);
+}
+
+#[test]
+fn circuit_breaker_skips_a_kernel_after_consecutive_failures() {
+    let _serial = recorder_lock();
+    // Five sweep points of one kernel, all with an invalid configuration:
+    // after two failures the breaker opens and the remaining three are
+    // skipped without being attempted.
+    let trace =
+        Arc::new(workloads::by_name("sdk_vectoradd").unwrap().with_blocks(1).trace().unwrap());
+    let all: Vec<BatchJob> = (0..5)
+        .map(|i| {
+            let cfg = SimConfig { num_mshrs: 0, ..SimConfig::default() };
+            BatchJob::new(format!("sdk_vectoradd @ {i}"), Arc::clone(&trace), cfg)
+        })
+        .collect();
+    let opts = BatchOptions { breaker_threshold: Some(2), ..BatchOptions::default() };
+    let rec = Arc::new(Recorder::new());
+    let out = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::new(1).run_with(&all, &opts)
+    };
+    for r in &out[..2] {
+        assert!(matches!(
+            r.as_ref().unwrap_err().error,
+            ExecError::Model(ModelError::InvalidConfig(_))
+        ));
+    }
+    for r in &out[2..] {
+        assert!(matches!(
+            &r.as_ref().unwrap_err().error,
+            ExecError::CircuitOpen { kernel, failures: 2 } if kernel == "sdk_vectoradd"
+        ));
+    }
+    assert_eq!(counter(&rec, "exec.resilience.breaker_trips"), 1);
+    assert_eq!(counter(&rec, "exec.resilience.breaker_open"), 3);
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("gpumech-resilience-{tag}-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn resume_replays_the_journal_with_zero_repeat_analysis() {
+    let _serial = recorder_lock();
+    let names = ["sdk_vectoradd", "bfs_kernel1", "kmeans_invert_mapping"];
+    let all = jobs(&names);
+    let journal = temp_journal("resume");
+
+    // First (journaled) run completes everything.
+    let first_opts =
+        BatchOptions { journal: Some(journal.clone()), ..BatchOptions::default() };
+    let first = BatchEngine::new(1).run_with(&all, &first_opts);
+    let baseline: Vec<String> =
+        first.iter().map(|r| canonical_prediction_json(r.as_ref().unwrap()).unwrap()).collect();
+
+    // Second run, fresh engine (cold cache), resuming: every job must be
+    // served from the journal — zero analyses, byte-identical output.
+    let rec = Arc::new(Recorder::new());
+    let second = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::new(1).run_with(&all, &BatchOptions {
+            journal: Some(journal.clone()),
+            resume: true,
+            ..BatchOptions::default()
+        })
+    };
+    for (r, want) in second.iter().zip(&baseline) {
+        assert_eq!(&canonical_prediction_json(r.as_ref().unwrap()).unwrap(), want);
+    }
+    assert_eq!(counter(&rec, "exec.resilience.journal_hits"), all.len() as u64);
+    assert_eq!(counter(&rec, "exec.cache.misses"), 0, "resume must do zero analysis work");
+    let _ = fs::remove_file(&journal);
+}
+
+#[test]
+fn partial_journal_resumes_only_the_missing_jobs() {
+    let _serial = recorder_lock();
+    let names = ["sdk_vectoradd", "bfs_kernel1", "kmeans_invert_mapping", "cfd_step_factor"];
+    let all = jobs(&names);
+    let journal = temp_journal("partial");
+
+    // Interrupted first run: only the first two jobs completed (simulated
+    // by journaling a sub-batch).
+    let opts = BatchOptions { journal: Some(journal.clone()), ..BatchOptions::default() };
+    let partial = BatchEngine::new(1).run_with(&all[..2], &opts);
+    assert!(partial.iter().all(Result::is_ok));
+
+    // Resumed run over the full job list: the two journaled jobs replay,
+    // the other two compute, and the union covers all jobs exactly once.
+    let baseline: Vec<String> = BatchEngine::new(1)
+        .run(&all)
+        .into_iter()
+        .map(|r| canonical_prediction_json(&r.unwrap()).unwrap())
+        .collect();
+    let rec = Arc::new(Recorder::new());
+    let resumed = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::new(1).run_with(&all, &BatchOptions {
+            journal: Some(journal.clone()),
+            resume: true,
+            ..BatchOptions::default()
+        })
+    };
+    for ((r, want), name) in resumed.iter().zip(&baseline).zip(&names) {
+        assert_eq!(&canonical_prediction_json(r.as_ref().unwrap()).unwrap(), want, "{name}");
+    }
+    assert_eq!(counter(&rec, "exec.resilience.journal_hits"), 2);
+    assert_eq!(counter(&rec, "exec.cache.misses"), 2, "only the two unfinished jobs compute");
+    // The journal now covers all four jobs exactly once.
+    let lines = fs::read_to_string(&journal).unwrap();
+    assert_eq!(lines.lines().count(), 4);
+    let _ = fs::remove_file(&journal);
+}
+
+#[test]
+fn timeouts_do_not_perturb_jobs_that_fit_their_budget() {
+    // A generous fake-clock timeout: all jobs complete and match an
+    // unconstrained run byte for byte (cancellation polling must not
+    // change the numerics).
+    let all = jobs(&["sdk_vectoradd", "bfs_kernel1"]);
+    let baseline: Vec<String> = BatchEngine::new(1)
+        .run(&all)
+        .into_iter()
+        .map(|r| canonical_prediction_json(&r.unwrap()).unwrap())
+        .collect();
+    let opts = BatchOptions {
+        timeout_ms: Some(10_000),
+        cancel: Some(fake_clock_root(1)),
+        ..BatchOptions::default()
+    };
+    let out = BatchEngine::new(1).run_with(&all, &opts);
+    for (r, want) in out.iter().zip(&baseline) {
+        assert_eq!(&canonical_prediction_json(r.as_ref().unwrap()).unwrap(), want);
+    }
+}
+
+#[test]
+fn resilient_batch_with_disk_cache_surfaces_no_spurious_warnings() {
+    // Belt and braces: the happy path through the resilient entry point
+    // with a disk cache produces clean predictions (no cache warnings).
+    let dir = std::env::temp_dir()
+        .join(format!("gpumech-resilience-disk-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let all = jobs(&["sdk_vectoradd"]);
+    let engine = BatchEngine::with_cache(1, ProfileCache::with_disk(&dir));
+    let out = engine.run_with(&all, &BatchOptions::default());
+    let p = out[0].as_ref().unwrap();
+    assert!(
+        !p.warnings.iter().any(|w| w.starts_with("cache: ")),
+        "clean disk cache must not warn: {:?}",
+        p.warnings
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -64,13 +64,15 @@ fn injected_worker_faults_cost_exactly_the_victim_item() {
                         "fault={fault_name}, victim={victim}, workers={workers}, item={i}"
                     );
                     if i == victim {
-                        match (kind, result) {
-                            (FaultKind::TaskPanic, Err(ExecError::WorkerPanic { item, .. })) => {
+                        let err = result.as_ref().expect_err(&case);
+                        assert_eq!(err.label, jobs[victim].label, "{case}: error must name the kernel");
+                        match (kind, &err.error) {
+                            (FaultKind::TaskPanic, ExecError::WorkerPanic { item, .. }) => {
                                 assert_eq!(*item, victim, "{case}");
                             }
                             (
                                 FaultKind::PanicHoldingQueueLock,
-                                Err(ExecError::ResultLost { item }),
+                                ExecError::ResultLost { item },
                             ) => {
                                 assert_eq!(*item, victim, "{case}");
                             }

@@ -1,0 +1,184 @@
+//! Resilience fault suite: the on-disk cache mutation corpus, the
+//! mid-write-kill simulator, and the slow-job / transient-panic
+//! injections, all driven through the public fault-crate corpora
+//! ([`CACHE_MUTATORS`], [`RESILIENCE_FAULTS`]) so CI exercises the same
+//! machinery downstream users would.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gpumech_exec::{
+    cache_key, canonical_prediction_json, BatchEngine, BatchJob, BatchOptions, FaultInjection,
+    FaultKind, ProfileCache,
+};
+use gpumech_fault::{
+    restore_panic_output, run_resilient_batch_case, silence_panic_output, simulate_midwrite_kill,
+    Outcome, CACHE_MUTATORS, RESILIENCE_FAULTS,
+};
+use gpumech_isa::SimConfig;
+use gpumech_obs::{CancelToken, Clock, FakeClock, Recorder};
+use gpumech_trace::workloads;
+
+/// Serializes tests that install the process-global recorder.
+static SUITE_LOCK: Mutex<()> = Mutex::new(());
+
+fn suite_lock() -> std::sync::MutexGuard<'static, ()> {
+    SUITE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpumech-faultres-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job(name: &str) -> BatchJob {
+    let trace = workloads::by_name(name).unwrap().with_blocks(1).trace().unwrap();
+    BatchJob::new(name, Arc::new(trace), SimConfig::default())
+}
+
+/// Warms a disk cache entry for `job` in `dir` and returns its path and
+/// pristine bytes.
+fn warm_entry(dir: &PathBuf, job: &BatchJob) -> (PathBuf, Vec<u8>) {
+    let key = cache_key(&job.trace, &job.cfg);
+    let engine = BatchEngine::with_cache(1, ProfileCache::with_disk(dir));
+    assert!(engine.run(std::slice::from_ref(job))[0].is_ok());
+    let path = dir.join(format!("{:016x}-{:016x}.json", key.trace, key.config));
+    let bytes = fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+#[test]
+fn every_cache_mutator_is_detected_quarantined_and_recomputed() {
+    let dir = test_dir("mutators");
+    let j = job("sdk_vectoradd");
+    let cold = BatchEngine::new(1).run(std::slice::from_ref(&j));
+    let cold_canon = canonical_prediction_json(cold[0].as_ref().unwrap()).unwrap();
+    let (entry_path, pristine) = warm_entry(&dir, &j);
+
+    for &(name, mutate) in CACHE_MUTATORS {
+        for seed in [0x1u64, 0xDEAD_BEEF, 0x5EED_5EED_5EED_5EED] {
+            let mut bytes = pristine.clone();
+            mutate(&mut bytes, seed);
+            assert_ne!(bytes, pristine, "{name} seed {seed:#x}: mutator must corrupt");
+            fs::write(&entry_path, &bytes).unwrap();
+
+            let engine = BatchEngine::with_cache(1, ProfileCache::with_disk(&dir));
+            let out = engine.run(std::slice::from_ref(&j));
+            let case = format!("{name} seed {seed:#x}");
+            let p = out[0].as_ref().unwrap_or_else(|e| panic!("{case}: {e}"));
+            assert_eq!(
+                canonical_prediction_json(p).unwrap(),
+                cold_canon,
+                "{case}: recomputed prediction diverged from cold run"
+            );
+            assert!(
+                p.warnings.iter().any(|w| w.starts_with("cache: ") && w.contains("quarantined")),
+                "{case}: quarantine must surface as a warning, got {:?}",
+                p.warnings
+            );
+            let mut q = entry_path.clone().into_os_string();
+            q.push(".quarantine");
+            let q = PathBuf::from(q);
+            assert!(q.exists(), "{case}: corrupt bytes must be quarantined");
+            let _ = fs::remove_file(&q);
+            // Restore the pristine entry for the next mutation so each
+            // case starts from the same healthy state.
+            fs::write(&entry_path, &pristine).unwrap();
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn midwrite_kill_debris_is_swept_and_does_not_perturb_results() {
+    let _serial = suite_lock();
+    let dir = test_dir("midwrite");
+    let j = job("bfs_kernel1");
+    let (entry_path, pristine) = warm_entry(&dir, &j);
+    let cold = BatchEngine::new(1).run(std::slice::from_ref(&j));
+    let cold_canon = canonical_prediction_json(cold[0].as_ref().unwrap()).unwrap();
+
+    let tmp = simulate_midwrite_kill(&entry_path, &pristine, 0xBAD_C0DE).unwrap();
+    assert!(tmp.exists(), "the simulator must plant a stale tmp file");
+
+    let rec = Arc::new(Recorder::new());
+    let out = {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        BatchEngine::with_cache(1, ProfileCache::with_disk(&dir)).run(std::slice::from_ref(&j))
+    };
+    let p = out[0].as_ref().unwrap();
+    assert_eq!(canonical_prediction_json(p).unwrap(), cold_canon);
+    assert!(
+        !p.warnings.iter().any(|w| w.starts_with("cache: ")),
+        "the committed entry is intact, so no cache warning is due: {:?}",
+        p.warnings
+    );
+    assert!(!tmp.exists(), "stale tmp debris must be swept when the cache opens");
+    let swept = rec.snapshot().counters.get("exec.cache.stale_tmp_removed").map_or(0, |c| c.total);
+    assert!(swept >= 1, "the sweep must be visible in the metrics");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resilience_fault_corpus_upholds_the_contract() {
+    let _serial = suite_lock();
+    let all: Vec<BatchJob> =
+        ["sdk_vectoradd", "bfs_kernel1", "cfd_step_factor"].into_iter().map(job).collect();
+    let victim = 1;
+    silence_panic_output();
+    for &(name, kind) in RESILIENCE_FAULTS {
+        let injections = vec![FaultInjection { item: victim, kind }];
+        let opts = match kind {
+            // The hung job can only be stopped by its per-job timeout;
+            // the fake clock makes the expiry deterministic.
+            FaultKind::SlowJob => BatchOptions {
+                timeout_ms: Some(5),
+                cancel: Some(CancelToken::with_clock(
+                    Arc::new(FakeClock::new(1_000)) as Arc<dyn Clock>,
+                    u64::MAX,
+                )),
+                injections,
+                ..BatchOptions::default()
+            },
+            // One retry must fully absorb a first-attempt panic.
+            _ => BatchOptions { retries: 1, injections, ..BatchOptions::default() },
+        };
+        let outcomes = run_resilient_batch_case(&all, 1, &opts);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert!(
+                outcome.is_contract_ok(),
+                "fault={name}, item={i}: contract violated: {outcome:?}"
+            );
+        }
+        match kind {
+            FaultKind::SlowJob => {
+                assert!(
+                    matches!(&outcomes[victim], Outcome::TypedError(e) if e.contains("deadline")),
+                    "fault={name}: victim must die by deadline, got {:?}",
+                    outcomes[victim]
+                );
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    if i != victim {
+                        assert!(
+                            matches!(outcome, Outcome::Cpi(c) if c.is_finite() && *c > 0.0),
+                            "fault={name}, item={i}: survivor must predict, got {outcome:?}"
+                        );
+                    }
+                }
+            }
+            _ => {
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    assert!(
+                        matches!(outcome, Outcome::Cpi(c) if c.is_finite() && *c > 0.0),
+                        "fault={name}, item={i}: retry must recover, got {outcome:?}"
+                    );
+                }
+            }
+        }
+    }
+    restore_panic_output();
+}

@@ -20,12 +20,19 @@
 //!   bandwidth, which is what makes write-divergent kernels DRAM-queue
 //!   bound in the paper (Section VI-B).
 
+use std::convert::Infallible;
+
 use gpumech_isa::SimConfig;
+use gpumech_obs::{CancelToken, Interrupt};
 use gpumech_trace::{KernelTrace, LaunchConfig, WarpTrace};
 
 use crate::cache::{Access, Cache};
 use crate::coalesce::coalesce;
 use crate::stats::MemStats;
+
+/// Round-robin passes between [`CancelToken`] polls in the cancellable
+/// path (each pass replays at most one memory instruction per core).
+const CANCEL_CHECK_MASK: u64 = 0x3F;
 
 /// One resident warp's cursor over its global-memory instructions.
 struct Cursor<'t> {
@@ -50,6 +57,38 @@ impl Cursor<'_> {
 /// launch geometry.
 #[must_use]
 pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
+    match simulate_impl(trace, cfg, &|| Ok::<(), Infallible>(())) {
+        Ok(stats) => stats,
+        Err(never) => match never {},
+    }
+}
+
+/// [`simulate_hierarchy`] under a [`CancelToken`]: the round-robin replay
+/// polls the token at a fixed access stride, so an expired deadline or
+/// explicit cancellation aborts the simulation within a bounded amount
+/// of work.
+///
+/// # Errors
+///
+/// The [`Interrupt`] once `cancel` fires.
+///
+/// # Panics
+///
+/// Same panics as [`simulate_hierarchy`] (invalid `cfg`, inconsistent
+/// launch geometry).
+pub fn simulate_hierarchy_cancellable(
+    trace: &KernelTrace,
+    cfg: &SimConfig,
+    cancel: &CancelToken,
+) -> Result<MemStats, Interrupt> {
+    simulate_impl(trace, cfg, &|| cancel.check())
+}
+
+fn simulate_impl<E>(
+    trace: &KernelTrace,
+    cfg: &SimConfig,
+    check: &dyn Fn() -> Result<(), E>,
+) -> Result<MemStats, E> {
     let _span = gpumech_obs::span!(
         "mem.cachesim.simulate",
         name = trace.name.as_str(),
@@ -71,6 +110,7 @@ pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
     let bpc = launch.blocks_per_core(cfg.max_warps_per_core);
     let max_waves = core_blocks.iter().map(|bs| bs.len().div_ceil(bpc)).max().unwrap_or(0);
     let wpb = launch.warps_per_block();
+    let mut passes: u64 = 0;
 
     for wave in 0..max_waves {
         // Gather the resident warps of this wave, per core.
@@ -99,6 +139,10 @@ pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
         // next unexhausted warp on every core.
         let mut rr: Vec<usize> = vec![0; cfg.num_cores];
         loop {
+            if passes & CANCEL_CHECK_MASK == 0 {
+                check()?;
+            }
+            passes += 1;
             let mut progressed = false;
             for (core, cursors) in resident.iter_mut().enumerate() {
                 if cursors.is_empty() {
@@ -162,7 +206,7 @@ pub fn simulate_hierarchy(trace: &KernelTrace, cfg: &SimConfig) -> MemStats {
         }
     }
     record_hierarchy_metrics(&stats);
-    stats
+    Ok(stats)
 }
 
 /// Emits the per-run `mem.cachesim.*` series from the finished statistics
@@ -274,6 +318,22 @@ mod tests {
             .map(|pc| stats.pc_stats(pc).unwrap().reqs_per_inst())
             .fold(0.0, f64::max);
         assert!(max_store_div > 30.0, "transpose stores should be ~32-way: {max_store_div}");
+    }
+
+    #[test]
+    fn cancellable_path_matches_and_honors_the_token() {
+        let w = workloads::by_name("sdk_vectoradd").unwrap().with_blocks(8);
+        let t = w.trace().unwrap();
+        let plain = simulate_hierarchy(&t, &small_cfg());
+        let live = simulate_hierarchy_cancellable(&t, &small_cfg(), &CancelToken::never()).unwrap();
+        assert_eq!(plain, live);
+
+        let cancelled = CancelToken::never();
+        cancelled.cancel();
+        assert_eq!(
+            simulate_hierarchy_cancellable(&t, &small_cfg(), &cancelled),
+            Err(Interrupt::Cancelled)
+        );
     }
 
     #[test]

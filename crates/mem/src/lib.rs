@@ -37,5 +37,5 @@ pub mod stats;
 
 pub use cache::{Access, Cache};
 pub use coalesce::{coalesce, num_requests};
-pub use hierarchy::simulate_hierarchy;
+pub use hierarchy::{simulate_hierarchy, simulate_hierarchy_cancellable};
 pub use stats::{MemStats, MissDistribution, MissEvent, PcStats};

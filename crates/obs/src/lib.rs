@@ -41,6 +41,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
+mod cancel;
 mod clock;
 mod export;
 mod naming;
@@ -48,6 +49,7 @@ mod recorder;
 mod report;
 mod span;
 
+pub use cancel::{CancelToken, Interrupt};
 pub use clock::{Clock, FakeClock, RealClock};
 pub use export::{render_tree, to_chrome_trace, to_jsonl};
 pub use naming::valid_metric_name;

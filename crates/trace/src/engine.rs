@@ -27,6 +27,7 @@ use gpumech_isa::{
     kernel::{BranchCond, KernelError, NUM_REGS},
     InstKind, Kernel, Operand, Reg, ValueOp, WarpId, WARP_SIZE,
 };
+use gpumech_obs::{CancelToken, Interrupt};
 
 use crate::launch::LaunchConfig;
 use crate::record::{KernelTrace, TraceInst, WarpTrace};
@@ -80,6 +81,9 @@ pub enum TraceError {
         /// The violated invariant.
         detail: &'static str,
     },
+    /// Tracing was interrupted by a [`CancelToken`] (explicit cancellation
+    /// or an expired deadline) before the kernel finished.
+    Interrupted(Interrupt),
 }
 
 impl std::fmt::Display for TraceError {
@@ -105,6 +109,7 @@ impl std::fmt::Display for TraceError {
             TraceError::BrokenInvariant { kernel, warp, pc, detail } => {
                 write!(f, "tracer invariant broken in kernel '{kernel}', warp {warp}, pc {pc}: {detail}")
             }
+            TraceError::Interrupted(why) => write!(f, "tracing interrupted: {why}"),
         }
     }
 }
@@ -116,7 +121,8 @@ impl std::error::Error for TraceError {
             TraceError::RejectedByAnalysis { .. }
             | TraceError::InstLimit { .. }
             | TraceError::CorruptTrace { .. }
-            | TraceError::BrokenInvariant { .. } => None,
+            | TraceError::BrokenInvariant { .. }
+            | TraceError::Interrupted(_) => None,
         }
     }
 }
@@ -160,10 +166,16 @@ struct Frame {
     reconv: u32,
 }
 
+/// How many dynamic instructions a warp machine retires between
+/// [`CancelToken`] checks — frequent enough that a deadline lands within
+/// microseconds, rare enough that the clock read is amortized away.
+const CANCEL_CHECK_MASK: usize = 0x3FF;
+
 struct WarpMachine<'k> {
     kernel: &'k Kernel,
     analysis: &'k KernelAnalysis,
     opts: TraceOptions,
+    cancel: &'k CancelToken,
     launch: LaunchConfig,
     warp: WarpId,
     /// `regs[reg][lane]`.
@@ -177,6 +189,7 @@ impl<'k> WarpMachine<'k> {
         kernel: &'k Kernel,
         analysis: &'k KernelAnalysis,
         opts: TraceOptions,
+        cancel: &'k CancelToken,
         launch: LaunchConfig,
         warp: WarpId,
     ) -> Self {
@@ -184,6 +197,7 @@ impl<'k> WarpMachine<'k> {
             kernel,
             analysis,
             opts,
+            cancel,
             launch,
             warp,
             regs: vec![[0u64; WARP_SIZE]; NUM_REGS],
@@ -277,6 +291,9 @@ impl<'k> WarpMachine<'k> {
             }
             if insts.len() >= MAX_DYN_INSTS_PER_WARP {
                 return Err(TraceError::InstLimit { warp: self.warp });
+            }
+            if insts.len() & CANCEL_CHECK_MASK == 0 {
+                self.cancel.check().map_err(TraceError::Interrupted)?;
             }
 
             let inst = &self.kernel.insts[top.pc as usize];
@@ -493,8 +510,9 @@ pub fn trace_warp(
     warp: WarpId,
 ) -> Result<WarpTrace, TraceError> {
     let analysis = pre_trace_analysis(kernel)?;
+    let cancel = CancelToken::never();
     let (trace, stats) =
-        WarpMachine::new(kernel, &analysis, TraceOptions::default(), launch, warp).run()?;
+        WarpMachine::new(kernel, &analysis, TraceOptions::default(), &cancel, launch, warp).run()?;
     gpumech_obs::counter!("trace.engine.insts", trace.insts.len() as u64);
     gpumech_obs::counter!("trace.engine.divergent_branches", stats.divergent_branches);
     gpumech_obs::counter!("trace.engine.uniform_branches", stats.uniform_branches);
@@ -524,13 +542,32 @@ pub fn trace_kernel_opts(
     launch: LaunchConfig,
     opts: TraceOptions,
 ) -> Result<KernelTrace, TraceError> {
+    trace_kernel_cancellable(kernel, launch, opts, &CancelToken::never())
+}
+
+/// [`trace_kernel_opts`] under a [`CancelToken`]: the warp machines poll
+/// the token at a fixed dynamic-instruction stride and between warps, so
+/// an expired deadline or explicit cancellation aborts tracing within a
+/// bounded amount of work.
+///
+/// # Errors
+///
+/// Propagates the first [`TraceError`] encountered;
+/// [`TraceError::Interrupted`] once `cancel` fires.
+pub fn trace_kernel_cancellable(
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    opts: TraceOptions,
+    cancel: &CancelToken,
+) -> Result<KernelTrace, TraceError> {
     let _span = gpumech_obs::span!("trace.engine.kernel", name = kernel.name.as_str());
     let analysis = pre_trace_analysis(kernel)?;
     let mut stats = RunStats::default();
     let warps = launch
         .warps()
         .map(|w| {
-            WarpMachine::new(kernel, &analysis, opts, launch, w).run().map(|(t, s)| {
+            cancel.check().map_err(TraceError::Interrupted)?;
+            WarpMachine::new(kernel, &analysis, opts, cancel, launch, w).run().map(|(t, s)| {
                 stats.absorb(s);
                 t
             })
@@ -701,6 +738,34 @@ mod tests {
         let k = b.finish(vec![]);
         let err = trace_warp(&k, launch1(), WarpId::new(0)).unwrap_err();
         assert!(matches!(err, TraceError::InstLimit { .. }));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_tracing_before_any_warp() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Tid]);
+        let k = b.finish(vec![]);
+        let cancel = CancelToken::never();
+        cancel.cancel();
+        let err =
+            trace_kernel_cancellable(&k, launch1(), TraceOptions::default(), &cancel).unwrap_err();
+        assert_eq!(err, TraceError::Interrupted(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_interrupts_a_long_running_warp_mid_trace() {
+        // An (effectively) non-terminating loop; the fake-clock deadline
+        // must fire via the in-loop poll long before the InstLimit.
+        let mut b = KernelBuilder::new("k");
+        b.loop_begin();
+        let _ = b.alu(ValueOp::Add, &[Operand::Imm(1)]);
+        b.loop_end_while(Operand::Imm(1));
+        let k = b.finish(vec![]);
+        let clock = std::sync::Arc::new(gpumech_obs::FakeClock::new(1_000));
+        let cancel = CancelToken::with_clock(clock, 10_000);
+        let err =
+            trace_kernel_cancellable(&k, launch1(), TraceOptions::default(), &cancel).unwrap_err();
+        assert_eq!(err, TraceError::Interrupted(Interrupt::DeadlineExceeded));
     }
 
     #[test]
