@@ -29,6 +29,11 @@
 #      kill/resume integration test (SIGKILL mid-sweep, `--resume`
 #      finishes with zero repeat work), and an obs-validate gate on a
 #      resumed run's trace carrying exec.resilience.* metrics
+#  11. static verification: release lint over the library must report
+#      zero error-severity findings (exit 0), the defective-kernel
+#      corpus must be 100% detected with the right finding codes, and a
+#      debug run of the cross-check suite must confirm every static
+#      bank bound and race verdict against observed per-lane addresses
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -82,5 +87,14 @@ rm -f target/ci-journal.jsonl
 grep -q 'exec.resilience.journal_hits' target/obs-resume-ci.jsonl \
   || { echo "resume trace missing exec.resilience.* metrics"; exit 1; }
 rm -f target/ci-journal.jsonl
+
+echo "== static verification =="
+# Zero Error findings over the 40-workload library: exit 0 is the gate.
+./target/release/gpumech lint > /dev/null
+cargo test -p gpumech-fault --release --test verify_corpus -q
+cargo test -p gpumech-cli --release --test lint_schema -q
+# Debug build so the engine's debug_assert cross-checks are live: every
+# observed per-lane address pattern must stay within its static verdict.
+cargo test -p gpumech-trace --test verify_crosscheck -q
 
 echo "CI OK"

@@ -1,0 +1,206 @@
+//! Static shared-memory bank-conflict analysis.
+//!
+//! Shared memory is modeled as `banks` successive `word_bytes`-wide banks
+//! with word-interleaved mapping: byte address `a` lives in word
+//! `a / word_bytes`, which lives in bank `(a / word_bytes) % banks`. One
+//! warp-wide access is conflict-free when no two lanes touch *different
+//! words of the same bank*; lanes reading the same word broadcast in one
+//! cycle. The predicted conflict degree is the maximum number of distinct
+//! words mapped to any single bank — the serialization factor of the
+//! access.
+//!
+//! The degree is evaluated from the affine `Shape` lifted by the race
+//! pass, over a *full* warp mask. A full mask is a monotone upper
+//! bound: deactivating lanes can only remove words from banks, never add
+//! them, so the static degree always dominates the observed one (the
+//! debug-build cross-check in `gpumech-trace` asserts exactly this).
+
+use gpumech_isa::{InstKind, Kernel, MemSpace, SimConfig, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Severity};
+use crate::race::Shape;
+
+/// Shared-memory bank geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankModel {
+    /// Number of banks (Fermi/Kepler and later: 32).
+    pub banks: u32,
+    /// Bank word width in bytes (4 on the modeled generation).
+    pub word_bytes: u64,
+}
+
+impl Default for BankModel {
+    fn default() -> Self {
+        BankModel { banks: 32, word_bytes: 4 }
+    }
+}
+
+impl From<&SimConfig> for BankModel {
+    fn from(config: &SimConfig) -> Self {
+        BankModel {
+            banks: config.shared_mem_banks as u32,
+            word_bytes: config.shared_bank_bytes as u64,
+        }
+    }
+}
+
+impl BankModel {
+    /// Predicted conflict degree of a full-mask warp access with the given
+    /// address shape, and whether the bound is exact (attained when all 32
+    /// lanes are active) or only an upper bound.
+    #[must_use]
+    pub(crate) fn degree_of(&self, shape: Shape) -> (u32, bool) {
+        match shape {
+            Shape::Top => (WARP_SIZE as u32, false),
+            Shape::Affine { base: Some(base), kl, .. } => (self.degree_at(base, kl), true),
+            Shape::Affine { base: None, kl, .. } => {
+                // The degree is invariant under base shifts by whole words
+                // (all words move together, banks rotate), so sweeping the
+                // base over one word covers every alignment.
+                let max =
+                    (0..self.word_bytes).map(|c| self.degree_at(c, kl)).max().unwrap_or(1);
+                (max, false)
+            }
+        }
+    }
+
+    /// Degree for a concrete base: max distinct words per bank over a full
+    /// warp (lanes sharing a word broadcast and count once).
+    fn degree_at(&self, base: u64, kl: u64) -> u32 {
+        let word_bytes = self.word_bytes.max(1);
+        let banks = u64::from(self.banks.max(1));
+        let mut words: Vec<(u64, u64)> = (0..WARP_SIZE as u64)
+            .map(|l| {
+                let word = base.wrapping_add(kl.wrapping_mul(l)) / word_bytes;
+                (word % banks, word)
+            })
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        let mut best = 0u32;
+        let mut i = 0;
+        while i < words.len() {
+            let bank = words[i].0;
+            let mut n = 0u32;
+            while i < words.len() && words[i].0 == bank {
+                n += 1;
+                i += 1;
+            }
+            best = best.max(n);
+        }
+        best.max(1)
+    }
+}
+
+/// Static verdict for one shared-memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedAccessFact {
+    /// PC of the access.
+    pub pc: u32,
+    /// `true` for `Store(Shared)`, `false` for `Load(Shared)`.
+    pub store: bool,
+    /// Predicted conflict degree under a full warp mask (1 = conflict-free;
+    /// an upper bound on any partial mask).
+    pub bank_degree: u32,
+    /// `true` when the degree is attained by a full-mask execution (fully
+    /// resolved address); `false` when it is only a conservative bound.
+    pub exact: bool,
+}
+
+pub(crate) fn run(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    shapes: &[Option<Shape>],
+    model: &BankModel,
+) -> (Vec<SharedAccessFact>, Vec<Diagnostic>) {
+    let mut facts = Vec::new();
+    let mut diagnostics = Vec::new();
+    for (pc, inst) in kernel.insts.iter().enumerate() {
+        let store = match inst.kind {
+            InstKind::Load(MemSpace::Shared) => false,
+            InstKind::Store(MemSpace::Shared) => true,
+            _ => continue,
+        };
+        if !cfg.reachable[pc] {
+            continue;
+        }
+        let shape = shapes[pc].unwrap_or(Shape::Top);
+        let (bank_degree, exact) = model.degree_of(shape);
+        facts.push(SharedAccessFact { pc: pc as u32, store, bank_degree, exact });
+        if bank_degree >= 2 {
+            diagnostics.push(Diagnostic::at(
+                Severity::Warning,
+                "bank-conflict",
+                pc as u32,
+                format!(
+                    "predicted {bank_degree}-way shared-memory bank conflict ({} banks × {} B \
+                     words){}",
+                    model.banks,
+                    model.word_bytes,
+                    if exact { "" } else { " — upper bound, address not fully resolved" },
+                ),
+            ));
+        }
+    }
+    (facts, diagnostics)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn affine(base: Option<u64>, kl: u64) -> Shape {
+        Shape::Affine { base, kl, kw: 0 }
+    }
+
+    #[test]
+    fn stride_one_word_is_conflict_free() {
+        let m = BankModel::default();
+        assert_eq!(m.degree_of(affine(Some(0), 4)), (1, true));
+        assert_eq!(m.degree_of(affine(None, 4)), (1, false));
+    }
+
+    #[test]
+    fn broadcast_counts_once() {
+        let m = BankModel::default();
+        // Every lane reads the same word: one word in one bank.
+        assert_eq!(m.degree_of(affine(Some(128), 0)), (1, true));
+        // Byte stride 1: 32 bytes span 8..=9 words in distinct banks.
+        assert!(m.degree_of(affine(None, 1)).0 <= 2);
+    }
+
+    #[test]
+    fn power_of_two_strides_conflict() {
+        let m = BankModel::default();
+        // Stride 2 words: lanes hit even banks only, two words per bank.
+        assert_eq!(m.degree_of(affine(Some(0), 8)), (2, true));
+        // Stride 32 words (128 B): every lane maps to bank 0.
+        assert_eq!(m.degree_of(affine(Some(0), 128)), (32, true));
+        // Unknown structure: worst case.
+        assert_eq!(m.degree_of(Shape::Top), (32, false));
+    }
+
+    #[test]
+    fn degree_is_alignment_invariant_for_word_multiples() {
+        let m = BankModel::default();
+        for base in [0u64, 4, 60, 1024] {
+            assert_eq!(m.degree_of(affine(Some(base), 8)).0, 2, "base {base}");
+        }
+    }
+
+    #[test]
+    fn custom_geometry_changes_the_verdict() {
+        // 16 banks of 8-byte words (Kepler's 8 B mode): a 128 B stride puts
+        // lane l at word 16·l, bank (16·l) % 16 = 0 — 32 distinct words in
+        // one bank, a full 32-way conflict.
+        let m = BankModel { banks: 16, word_bytes: 8 };
+        assert_eq!(m.degree_of(affine(Some(0), 128)), (32, true));
+        // Stride one 8 B word: 32 consecutive words fold onto 16 banks
+        // twice — a 2-way conflict that the 32-bank default avoids.
+        assert_eq!(m.degree_of(affine(Some(0), 8)), (2, true));
+        assert_eq!(BankModel::default().degree_of(affine(Some(0), 8)), (2, true));
+    }
+}

@@ -1,0 +1,148 @@
+//! Barrier-divergence verification.
+//!
+//! `InstKind::Sync` blocks a warp until every warp of its thread block
+//! arrives. On real hardware a barrier executed under *divergent* control
+//! flow — where some lanes of the block took a path that skips the
+//! barrier — deadlocks or silently releases early (both documented GPU
+//! failure modes); GPUVerify calls this *barrier divergence* and treats
+//! it as a verification error. We do the same: a `Sync` is provably safe
+//! only when it executes under uniform control flow.
+//!
+//! The proof obligation reduces to the divergence pass's influence
+//! regions: a `Sync` inside the influence region of a potentially
+//! divergent conditional branch (reachable from the branch's successors
+//! without passing its reconvergence point) can execute under a partial
+//! mask, so it is flagged as an `Error`. A `Sync` outside every such
+//! region executes with the full mask the kernel entered with. Branches
+//! the divergence lattice proves uniform (`branch_uniform`) split no
+//! masks and create no obligation.
+
+use gpumech_isa::kernel::BranchCond;
+use gpumech_isa::{InstKind, Kernel};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Severity};
+
+pub(crate) fn run(kernel: &Kernel, cfg: &Cfg, branch_uniform: &[bool]) -> Vec<Diagnostic> {
+    let n = kernel.insts.len();
+    // For each Sync pc, the divergent branches whose influence region
+    // contains it.
+    let mut culprits: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (pc, inst) in kernel.insts.iter().enumerate() {
+        if inst.kind != InstKind::Branch
+            || inst.cond == BranchCond::Always
+            || !cfg.reachable[pc]
+            || branch_uniform[pc]
+        {
+            continue;
+        }
+        let Some(reconv) = inst.reconv else { continue };
+        for v in cfg.region_until(&cfg.succs[pc], reconv) {
+            if kernel.insts[v as usize].kind == InstKind::Sync {
+                culprits[v as usize].push(pc as u32);
+            }
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    for (pc, branches) in culprits.iter().enumerate() {
+        if branches.is_empty() || !cfg.reachable[pc] {
+            continue;
+        }
+        let list = branches
+            .iter()
+            .map(|b| format!("pc {b}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        diagnostics.push(Diagnostic::at(
+            Severity::Error,
+            "barrier-divergence",
+            pc as u32,
+            format!(
+                "barrier reachable under divergent control flow (inside the influence region \
+                 of branch {list}): lanes that skip it leave the block's warps deadlocked"
+            ),
+        ));
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use gpumech_isa::{KernelBuilder, Operand, ValueOp};
+
+    fn verify(kernel: &Kernel) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(kernel);
+        let df = crate::dataflow::run(kernel, &cfg);
+        let dv = crate::divergence::run(kernel, &cfg, df.written, df.maybe_uninit_reads);
+        run(kernel, &cfg, &dv.branch_uniform)
+    }
+
+    #[test]
+    fn top_level_barrier_is_uniform() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.alu(ValueOp::Add, &[Operand::Lane, Operand::Imm(1)]);
+        b.sync();
+        let k = b.finish(vec![]);
+        assert!(verify(&k).is_empty());
+    }
+
+    #[test]
+    fn barrier_inside_divergent_branch_is_an_error() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(16)]);
+        b.if_begin(Operand::Reg(c));
+        b.sync();
+        b.if_end();
+        let k = b.finish(vec![]);
+        let diags = verify(&k);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "barrier-divergence");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn barrier_inside_uniform_branch_is_fine() {
+        // The branch condition is block-uniform (a parameter), so the
+        // lattice proves the mask never splits.
+        let mut b = KernelBuilder::new("k");
+        let p = b.param(0);
+        let c = b.alu(ValueOp::CmpLt, &[p, Operand::Imm(16)]);
+        b.if_begin(Operand::Reg(c));
+        b.sync();
+        b.if_end();
+        let k = b.finish(vec![1]);
+        assert!(verify(&k).is_empty());
+    }
+
+    #[test]
+    fn barrier_after_reconvergence_is_fine() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(16)]);
+        b.if_begin(Operand::Reg(c));
+        let _ = b.alu(ValueOp::Add, &[Operand::Lane, Operand::Imm(1)]);
+        b.if_end();
+        b.sync();
+        let k = b.finish(vec![]);
+        assert!(verify(&k).is_empty());
+    }
+
+    #[test]
+    fn divergent_loop_body_barrier_is_an_error() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.alu(ValueOp::Mov, &[Operand::Imm(0)]);
+        b.loop_begin();
+        b.sync();
+        b.alu_into(i, ValueOp::Add, &[Operand::Reg(i), Operand::Imm(1)]);
+        // Lane-dependent trip count: lanes exit the loop at different
+        // iterations, so the barrier in the body diverges.
+        let cont = b.alu(ValueOp::CmpLt, &[Operand::Reg(i), Operand::Lane]);
+        b.loop_end_while(Operand::Reg(cont));
+        let k = b.finish(vec![]);
+        let diags = verify(&k);
+        assert_eq!(diags.len(), 1, "diags: {diags:?}");
+        assert_eq!(diags[0].code, "barrier-divergence");
+    }
+}

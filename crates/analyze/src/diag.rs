@@ -31,6 +31,27 @@ impl fmt::Display for Severity {
     }
 }
 
+/// Why a kernel was rejected by the pre-trace verification hook, derived
+/// from the codes of its Error-severity findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// A structural defect: invalid IR, a corrupt reconvergence PC,
+    /// irreducible control flow, or a definite read-before-write.
+    Structural,
+    /// A barrier reachable under divergent control flow — the kernel would
+    /// deadlock on hardware (`barrier-divergence` findings).
+    BarrierDivergence,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Structural => f.write_str("structural defect"),
+            RejectReason::BarrierDivergence => f.write_str("barrier divergence"),
+        }
+    }
+}
+
 /// One finding of the static analyzer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {

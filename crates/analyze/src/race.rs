@@ -1,0 +1,626 @@
+//! Shared-memory race detection under a two-thread abstraction.
+//!
+//! GPUVerify-style reasoning specialized to this IR: two *abstract
+//! threads* — lane `l1` of warp `w1` and lane `l2` of warp `w2` with
+//! `w1 != w2`, both in the same thread block — execute the kernel, and a
+//! race is a pair of shared-memory accesses (at least one a store) that
+//! can touch the same byte within the same *barrier interval*.
+//!
+//! Two deliberate semantic choices, documented in DESIGN.md:
+//!
+//! * **Intra-warp pairs never race.** The functional engine executes a
+//!   warp in lockstep, one whole instruction at a time, so two accesses
+//!   by lanes of the same warp are totally ordered (classic pre-Volta
+//!   warp-synchronous semantics — exactly what the tracer implements).
+//! * **Cross-warp pairs are unordered between barriers.** Warps of one
+//!   block progress independently; only `Sync` aligns them. Any
+//!   conflicting cross-warp pair inside one barrier interval is reported.
+//!
+//! Addresses are lifted into a *block-affine shape*
+//! `base + kl·lane + kw·warp_in_block` ([`Shape`]); the lane coefficient
+//! distinguishes `Operand::Lane` (which repeats across warps — the classic
+//! reduction-tree race) from `Operand::TidInBlock` (which does not). The
+//! may-alias test enumerates both abstract threads exactly when the base
+//! is known and degrades to "may alias" when it is not — conservative in
+//! the detection direction.
+
+use std::collections::HashMap;
+
+use gpumech_isa::kernel::{BranchCond, NUM_REGS};
+use gpumech_isa::{InstKind, Kernel, MemSpace, Operand, ValueOp, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Severity};
+
+/// Warps-per-block bound the two-thread alias solver enumerates (the
+/// CUDA architectural ceiling of 1024 threads per block).
+const MAX_WARPS_PER_BLOCK: u64 = 32;
+
+/// Symbolic per-thread shared-memory address: how the address varies over
+/// the lane index and the warp-in-block index of the accessing thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Shape {
+    /// `base + kl·lane + kw·warp_in_block` (wrapping mod 2^64).
+    /// `base = None` means an unknown warp-uniform base that may differ
+    /// between the two abstract threads (e.g. a loop-carried offset).
+    Affine {
+        /// Known base byte offset, when the whole chain is constant.
+        base: Option<u64>,
+        /// Lane coefficient.
+        kl: u64,
+        /// Warp-in-block coefficient.
+        kw: u64,
+    },
+    /// No per-thread structure derivable.
+    Top,
+}
+
+impl Shape {
+    fn konst(c: u64) -> Self {
+        Shape::Affine { base: Some(c), kl: 0, kw: 0 }
+    }
+
+    fn unknown_uniform() -> Self {
+        Shape::Affine { base: None, kl: 0, kw: 0 }
+    }
+
+    /// Same value in every lane of a warp (no lane/warp variation)?
+    fn is_uniform(self) -> bool {
+        matches!(self, Shape::Affine { kl: 0, kw: 0, .. })
+    }
+
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (
+                Shape::Affine { base: b1, kl: k1, kw: w1 },
+                Shape::Affine { base: b2, kl: k2, kw: w2 },
+            ) if k1 == k2 && w1 == w2 => {
+                Shape::Affine { base: if b1 == b2 { b1 } else { None }, kl: k1, kw: w1 }
+            }
+            _ => Shape::Top,
+        }
+    }
+
+    /// Multiplies the whole shape by a known constant.
+    fn scale(self, c: u64) -> Self {
+        match self {
+            Shape::Affine { base, kl, kw } => Shape::Affine {
+                base: base.map(|b| b.wrapping_mul(c)),
+                kl: kl.wrapping_mul(c),
+                kw: kw.wrapping_mul(c),
+            },
+            Shape::Top => Shape::Top,
+        }
+    }
+
+    fn add(self, other: Self) -> Self {
+        match (self, other) {
+            (
+                Shape::Affine { base: b1, kl: k1, kw: w1 },
+                Shape::Affine { base: b2, kl: k2, kw: w2 },
+            ) => Shape::Affine {
+                base: match (b1, b2) {
+                    (Some(a), Some(b)) => Some(a.wrapping_add(b)),
+                    _ => None,
+                },
+                kl: k1.wrapping_add(k2),
+                kw: w1.wrapping_add(w2),
+            },
+            _ => Shape::Top,
+        }
+    }
+
+    fn neg(self) -> Self {
+        self.scale(u64::MAX) // ·(−1 mod 2^64)
+    }
+}
+
+/// Shape of a raw operand. Mirrors the engine's special-register values:
+/// `tid = block·tpb + 32·warp_in_block + lane`, whose block term is an
+/// unknown uniform here (it cancels only for same-warp comparisons, which
+/// the race analysis never makes).
+fn seed(op: Operand, values: &[Option<Shape>; NUM_REGS]) -> Option<Shape> {
+    Some(match op {
+        Operand::Reg(r) => return values[r.0 as usize],
+        Operand::Imm(v) => Shape::konst(v),
+        Operand::Lane => Shape::Affine { base: Some(0), kl: 1, kw: 0 },
+        Operand::WarpInBlock => Shape::Affine { base: Some(0), kl: 0, kw: 1 },
+        Operand::TidInBlock => Shape::Affine { base: Some(0), kl: 1, kw: 32 },
+        Operand::Tid => Shape::Affine { base: None, kl: 1, kw: 32 },
+        Operand::Block | Operand::Param(_) => Shape::unknown_uniform(),
+    })
+}
+
+/// Abstract transfer function over [`Shape`], mirroring
+/// [`crate::divergence`]'s transfer on the richer domain.
+fn transfer(op: ValueOp, args: &[Shape]) -> Shape {
+    if args.contains(&Shape::Top) {
+        return Shape::Top;
+    }
+    let all_uniform = args.iter().all(|a| a.is_uniform());
+    match op {
+        ValueOp::Mov => args.first().copied().unwrap_or_else(|| Shape::konst(0)),
+        ValueOp::Add => args.iter().copied().fold(Shape::konst(0), Shape::add),
+        ValueOp::Sub => args[0].add(args[1].neg()),
+        ValueOp::Mul => {
+            let varying = args.iter().filter(|a| !a.is_uniform()).count();
+            match varying {
+                0 => match args.iter().try_fold(1u64, |p, a| match a {
+                    Shape::Affine { base: Some(c), kl: 0, kw: 0 } => Some(p.wrapping_mul(*c)),
+                    _ => None,
+                }) {
+                    Some(prod) => Shape::konst(prod),
+                    None => Shape::unknown_uniform(),
+                },
+                1 if args
+                    .iter()
+                    .all(|a| !a.is_uniform() || matches!(a, Shape::Affine { base: Some(_), .. })) =>
+                {
+                    let c = args.iter().fold(1u64, |p, a| match a {
+                        Shape::Affine { base: Some(c), kl: 0, kw: 0 } => p.wrapping_mul(*c),
+                        _ => p,
+                    });
+                    args.iter().copied().find(|a| !a.is_uniform()).map_or(Shape::Top, |v| v.scale(c))
+                }
+                _ => Shape::Top,
+            }
+        }
+        ValueOp::Shl => match args[1] {
+            // a << s = a·2^s (wrapping), so the shape scales.
+            Shape::Affine { base: Some(s), kl: 0, kw: 0 } => args[0].scale(1u64 << (s & 63)),
+            _ if all_uniform => Shape::unknown_uniform(),
+            _ => Shape::Top,
+        },
+        ValueOp::Select => match args[0] {
+            Shape::Affine { base: Some(c), kl: 0, kw: 0 } => args[if c != 0 { 1 } else { 2 }],
+            Shape::Affine { kl: 0, kw: 0, .. } => args[1].join(args[2]),
+            _ => Shape::Top,
+        },
+        ValueOp::Div
+        | ValueOp::Rem
+        | ValueOp::And
+        | ValueOp::Xor
+        | ValueOp::Shr
+        | ValueOp::Min
+        | ValueOp::Max
+        | ValueOp::CmpLt
+        | ValueOp::CmpEq
+        | ValueOp::CmpNe
+        | ValueOp::Hash => {
+            if all_uniform {
+                Shape::unknown_uniform()
+            } else {
+                Shape::Top
+            }
+        }
+    }
+}
+
+/// A pair of shared-memory access PCs that may race across warps within
+/// one barrier interval (`a <= b`; `a == b` is a self-race, e.g. every
+/// warp storing to `shared[lane]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RacePair {
+    /// Lower PC of the pair.
+    pub a: u32,
+    /// Higher PC of the pair.
+    pub b: u32,
+}
+
+/// Results of the race pass.
+pub(crate) struct Races {
+    /// Per-pc address shape for reachable shared accesses.
+    pub(crate) shapes: Vec<Option<Shape>>,
+    /// May-racing pairs, sorted and deduplicated.
+    pub(crate) pairs: Vec<RacePair>,
+    /// `shared-race` warnings, one per pair.
+    pub(crate) diagnostics: Vec<Diagnostic>,
+}
+
+/// Global flow-insensitive fixpoint over [`Shape`] with the same
+/// control-dependence taint rule as the divergence pass: a write under a
+/// possibly partial mask may leave lanes disagreeing about which write
+/// they observed, so it is forced to [`Shape::Top`].
+fn global_fixpoint(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    branch_uniform: &[bool],
+    written: u64,
+    maybe_uninit_reads: u64,
+) -> [Option<Shape>; NUM_REGS] {
+    let n = kernel.insts.len();
+    let mut tainted = vec![false; n];
+    for (pc, inst) in kernel.insts.iter().enumerate() {
+        if inst.kind != InstKind::Branch
+            || inst.cond == BranchCond::Always
+            || !cfg.reachable[pc]
+            || branch_uniform[pc]
+        {
+            continue;
+        }
+        let Some(reconv) = inst.reconv else { continue };
+        for v in cfg.region_until(&cfg.succs[pc], reconv) {
+            tainted[v as usize] = true;
+        }
+    }
+
+    let mut values: [Option<Shape>; NUM_REGS] = [None; NUM_REGS];
+    for (r, v) in values.iter_mut().enumerate() {
+        let bit = 1u64 << r;
+        if written & bit == 0 || maybe_uninit_reads & bit != 0 {
+            *v = Some(Shape::konst(0));
+        }
+    }
+
+    loop {
+        let mut changed = false;
+        for (pc, inst) in kernel.insts.iter().enumerate() {
+            if !cfg.reachable[pc] {
+                continue;
+            }
+            let Some(dst) = inst.dst else { continue };
+            let args: Option<Vec<Shape>> = inst.srcs.iter().map(|&s| seed(s, &values)).collect();
+            let Some(args) = args else { continue };
+            let mut result = match inst.kind {
+                InstKind::Load(_) => {
+                    // A loaded value is a hash of its address: uniform for a
+                    // uniform address, structureless otherwise.
+                    if args[0].is_uniform() { Shape::unknown_uniform() } else { Shape::Top }
+                }
+                _ => transfer(inst.op, &args),
+            };
+            if tainted[pc] {
+                result = Shape::Top;
+            }
+            let slot = &mut values[dst.0 as usize];
+            let joined = slot.map_or(result, |old| old.join(result));
+            if *slot != Some(joined) {
+                *slot = Some(joined);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    values
+}
+
+/// Resolves `op` at `pc` with intra-block backward substitution: a
+/// definition in the same basic block executes under the same active mask
+/// as the access, so every active lane carries exactly that value and the
+/// control-dependence taint does not apply to it. Registers defined
+/// outside the block fall back to the (tainted) global fixpoint.
+fn local_shape(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    values: &[Option<Shape>; NUM_REGS],
+    pc: usize,
+    op: Operand,
+    depth: u32,
+) -> Shape {
+    let Operand::Reg(r) = op else {
+        return seed(op, values).unwrap_or_else(|| Shape::konst(0));
+    };
+    let fallback = || values[r.0 as usize].unwrap_or_else(|| Shape::konst(0));
+    if depth == 0 {
+        return fallback();
+    }
+    // Walk backwards while the predecessor chain is straight-line: the
+    // instruction at p has exactly one predecessor, p-1, and that
+    // predecessor is not a branch (mask changes only at block boundaries).
+    let mut p = pc;
+    while p > 0 && cfg.preds[p].as_slice() == [p as u32 - 1] {
+        p -= 1;
+        let inst = &kernel.insts[p];
+        if inst.kind == InstKind::Branch {
+            break;
+        }
+        if inst.dst != Some(r) {
+            continue;
+        }
+        let args: Vec<Shape> = inst
+            .srcs
+            .iter()
+            .map(|&s| local_shape(kernel, cfg, values, p, s, depth - 1))
+            .collect();
+        return match inst.kind {
+            InstKind::Load(_) => {
+                if args.first().is_some_and(|a| a.is_uniform()) {
+                    Shape::unknown_uniform()
+                } else {
+                    Shape::Top
+                }
+            }
+            _ => transfer(inst.op, &args),
+        };
+    }
+    fallback()
+}
+
+/// One reachable shared-memory access.
+struct SharedAccess {
+    pc: u32,
+    store: bool,
+    shape: Shape,
+}
+
+/// For each barrier-interval start (the entry plus every `Sync`
+/// successor), the set of access indices reachable without crossing
+/// another `Sync` — accesses that can share a dynamic barrier interval.
+fn interval_cohorts(kernel: &Kernel, cfg: &Cfg, accesses: &[SharedAccess]) -> Vec<Vec<usize>> {
+    let n = kernel.insts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut starts: Vec<u32> = vec![0];
+    for pc in 0..n {
+        if kernel.insts[pc].kind == InstKind::Sync && cfg.reachable[pc] {
+            starts.extend(cfg.succs[pc].iter().copied());
+        }
+    }
+    starts.sort_unstable();
+    starts.dedup();
+
+    let index_of: HashMap<u32, usize> = accesses.iter().enumerate().map(|(i, a)| (a.pc, i)).collect();
+    let mut cohorts = Vec::with_capacity(starts.len());
+    for &s in &starts {
+        let mut seen = vec![false; n];
+        let mut stack = vec![s];
+        seen[s as usize] = true;
+        let mut members = Vec::new();
+        while let Some(v) = stack.pop() {
+            if let Some(&i) = index_of.get(&v) {
+                members.push(i);
+            }
+            // A Sync ends the interval: do not traverse past it.
+            if kernel.insts[v as usize].kind == InstKind::Sync {
+                continue;
+            }
+            for &succ in &cfg.succs[v as usize] {
+                if !seen[succ as usize] {
+                    seen[succ as usize] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        members.sort_unstable();
+        cohorts.push(members);
+    }
+    cohorts
+}
+
+/// Address → warp-membership bitmask over all (lane, warp) thread pairs
+/// of one access with a fully known shape.
+fn address_warps(base: u64, kl: u64, kw: u64) -> HashMap<u64, u32> {
+    let mut map = HashMap::with_capacity(WARP_SIZE * MAX_WARPS_PER_BLOCK as usize);
+    for w in 0..MAX_WARPS_PER_BLOCK {
+        for l in 0..WARP_SIZE as u64 {
+            let addr = base.wrapping_add(kl.wrapping_mul(l)).wrapping_add(kw.wrapping_mul(w));
+            *map.entry(addr).or_insert(0u32) |= 1 << w;
+        }
+    }
+    map
+}
+
+/// Can the two accesses touch the same byte from *different* warps?
+fn may_alias(a: Shape, b: Shape, maps: &mut [Option<HashMap<u64, u32>>], ia: usize, ib: usize) -> bool {
+    let (Shape::Affine { base: ba, kl: kla, kw: kwa }, Shape::Affine { base: bb, kl: klb, kw: kwb }) =
+        (a, b)
+    else {
+        return true; // Top: no structure to refute with.
+    };
+    let (Some(ba), Some(bb)) = (ba, bb) else {
+        return true; // Unknown base may place the accesses anywhere.
+    };
+    if maps[ia].is_none() {
+        maps[ia] = Some(address_warps(ba, kla, kwa));
+    }
+    if maps[ib].is_none() {
+        maps[ib] = Some(address_warps(bb, klb, kwb));
+    }
+    let (ma, mb) = (maps[ia].clone(), &maps[ib]);
+    let (Some(ma), Some(mb)) = (ma.as_ref(), mb.as_ref()) else { return true };
+    for (addr, wb) in mb {
+        if let Some(wa) = ma.get(addr) {
+            // Same byte reachable by two different warps unless both sides
+            // pin it to the same single warp (intra-warp: ordered, no race).
+            if !(wa == wb && wa.count_ones() == 1) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+pub(crate) fn run(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    branch_uniform: &[bool],
+    written: u64,
+    maybe_uninit_reads: u64,
+) -> Races {
+    let n = kernel.insts.len();
+    let values = global_fixpoint(kernel, cfg, branch_uniform, written, maybe_uninit_reads);
+
+    let mut shapes: Vec<Option<Shape>> = vec![None; n];
+    let mut accesses: Vec<SharedAccess> = Vec::new();
+    for (pc, inst) in kernel.insts.iter().enumerate() {
+        let store = match inst.kind {
+            InstKind::Load(MemSpace::Shared) => false,
+            InstKind::Store(MemSpace::Shared) => true,
+            _ => continue,
+        };
+        if !cfg.reachable[pc] {
+            continue;
+        }
+        let shape = local_shape(kernel, cfg, &values, pc, inst.srcs[0], 16);
+        shapes[pc] = Some(shape);
+        accesses.push(SharedAccess { pc: pc as u32, store, shape });
+    }
+    if accesses.is_empty() {
+        return Races { shapes, pairs: Vec::new(), diagnostics: Vec::new() };
+    }
+
+    // Candidate pairs: both members of some barrier-interval cohort.
+    let mut candidate = vec![false; accesses.len() * accesses.len()];
+    for cohort in interval_cohorts(kernel, cfg, &accesses) {
+        for (x, &i) in cohort.iter().enumerate() {
+            for &j in &cohort[x..] {
+                candidate[i * accesses.len() + j] = true;
+            }
+        }
+    }
+
+    let mut maps: Vec<Option<HashMap<u64, u32>>> = vec![None; accesses.len()];
+    let mut pairs = Vec::new();
+    let mut diagnostics = Vec::new();
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            if !candidate[i * accesses.len() + j] {
+                continue;
+            }
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if !a.store && !b.store {
+                continue;
+            }
+            if !may_alias(a.shape, b.shape, &mut maps, i, j) {
+                continue;
+            }
+            pairs.push(RacePair { a: a.pc, b: b.pc });
+            let kind = if a.store && b.store { "W/W" } else { "R/W" };
+            let resolved = matches!(
+                (a.shape, b.shape),
+                (Shape::Affine { base: Some(_), .. }, Shape::Affine { base: Some(_), .. })
+            );
+            let what = |x: &SharedAccess| if x.store { "store" } else { "load" };
+            diagnostics.push(Diagnostic::at(
+                Severity::Warning,
+                "shared-race",
+                a.pc,
+                format!(
+                    "possible cross-warp {kind} race: shared {} here and shared {} at pc {} \
+                     may touch the same address within one barrier interval{}",
+                    what(a),
+                    what(b),
+                    b.pc,
+                    if resolved { "" } else { " (address not statically resolved)" },
+                ),
+            ));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    Races { shapes, pairs, diagnostics }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use gpumech_isa::KernelBuilder;
+
+    fn races_of(kernel: &Kernel) -> Races {
+        let cfg = Cfg::build(kernel);
+        let df = crate::dataflow::run(kernel, &cfg);
+        let dv = crate::divergence::run(kernel, &cfg, df.written, df.maybe_uninit_reads);
+        run(kernel, &cfg, &dv.branch_uniform, df.written, df.maybe_uninit_reads)
+    }
+
+    #[test]
+    fn lane_indexed_store_self_races_across_warps() {
+        // Every warp writes shared[lane]: warp 0 lane 3 and warp 1 lane 3
+        // collide — the classic unsynchronized reduction-tree hazard.
+        let mut b = KernelBuilder::new("k");
+        let v = b.alu(ValueOp::Mov, &[Operand::Imm(7)]);
+        b.store(MemSpace::Shared, Operand::Lane, Operand::Reg(v));
+        let k = b.finish(vec![]);
+        let r = races_of(&k);
+        assert_eq!(r.pairs.len(), 1);
+        assert_eq!(r.pairs[0].a, r.pairs[0].b);
+        assert!(r.diagnostics.iter().any(|d| d.code == "shared-race"));
+    }
+
+    #[test]
+    fn block_unique_addresses_do_not_race() {
+        // shared[tid_in_block·4] is distinct for every thread of the block.
+        let mut b = KernelBuilder::new("k");
+        let off = b.alu(ValueOp::Mul, &[Operand::TidInBlock, Operand::Imm(4)]);
+        let v = b.alu(ValueOp::Mov, &[Operand::Imm(1)]);
+        b.store(MemSpace::Shared, Operand::Reg(off), Operand::Reg(v));
+        let _ = b.load(MemSpace::Shared, Operand::Reg(off));
+        let k = b.finish(vec![]);
+        let r = races_of(&k);
+        assert!(r.pairs.is_empty(), "pairs: {:?}", r.pairs);
+    }
+
+    #[test]
+    fn barrier_separates_store_from_load() {
+        // store shared[tib·4+4] ; sync ; load shared[tib·4] — the barrier
+        // splits the intervals, so the cross-warp R/W pair cannot collide.
+        let mut b = KernelBuilder::new("k");
+        let off = b.alu(ValueOp::Mul, &[Operand::TidInBlock, Operand::Imm(4)]);
+        let neighbour = b.alu(ValueOp::Add, &[Operand::Reg(off), Operand::Imm(4)]);
+        let v = b.alu(ValueOp::Mov, &[Operand::Imm(1)]);
+        b.store(MemSpace::Shared, Operand::Reg(neighbour), Operand::Reg(v));
+        b.sync();
+        let _ = b.load(MemSpace::Shared, Operand::Reg(off));
+        let k = b.finish(vec![]);
+        let r = races_of(&k);
+        assert!(r.pairs.is_empty(), "pairs: {:?}", r.pairs);
+    }
+
+    #[test]
+    fn missing_barrier_neighbour_exchange_races() {
+        // Same kernel without the sync: warp 0's lane 31 writes the byte
+        // warp 1's lane 0 reads (tib 32·4 = (31+1)·4).
+        let mut b = KernelBuilder::new("k");
+        let off = b.alu(ValueOp::Mul, &[Operand::TidInBlock, Operand::Imm(4)]);
+        let neighbour = b.alu(ValueOp::Add, &[Operand::Reg(off), Operand::Imm(4)]);
+        let v = b.alu(ValueOp::Mov, &[Operand::Imm(1)]);
+        let store_pc = b.pc();
+        b.store(MemSpace::Shared, Operand::Reg(neighbour), Operand::Reg(v));
+        let _ = b.load(MemSpace::Shared, Operand::Reg(off));
+        let k = b.finish(vec![]);
+        let r = races_of(&k);
+        assert_eq!(r.pairs.len(), 1, "pairs: {:?}", r.pairs);
+        assert_eq!(r.pairs[0].a, store_pc);
+    }
+
+    #[test]
+    fn unknown_base_is_conservatively_racy() {
+        // Address = lane + param-derived offset: the base is unknown, so
+        // the W/W self-pair must be reported.
+        let mut b = KernelBuilder::new("k");
+        let off = b.alu(ValueOp::Add, &[Operand::Lane, Operand::Param(0)]);
+        let v = b.alu(ValueOp::Mov, &[Operand::Imm(1)]);
+        b.store(MemSpace::Shared, Operand::Reg(off), Operand::Reg(v));
+        let k = b.finish(vec![1]);
+        let r = races_of(&k);
+        assert_eq!(r.pairs.len(), 1);
+        let d = &r.diagnostics[0];
+        assert!(d.message.contains("not statically resolved") || d.message.contains("W/W"));
+    }
+
+    #[test]
+    fn shape_transfer_laws() {
+        let lane = Shape::Affine { base: Some(0), kl: 1, kw: 0 };
+        assert_eq!(transfer(ValueOp::Mul, &[lane, Shape::konst(4)]), Shape::Affine {
+            base: Some(0),
+            kl: 4,
+            kw: 0
+        });
+        assert_eq!(
+            transfer(ValueOp::Add, &[lane, Shape::unknown_uniform()]),
+            Shape::Affine { base: None, kl: 1, kw: 0 }
+        );
+        assert_eq!(transfer(ValueOp::Hash, &[lane]), Shape::Top);
+        assert_eq!(
+            lane.join(Shape::Affine { base: Some(8), kl: 1, kw: 0 }),
+            Shape::Affine { base: None, kl: 1, kw: 0 }
+        );
+        assert_eq!(lane.join(Shape::Affine { base: Some(0), kl: 2, kw: 0 }), Shape::Top);
+    }
+}

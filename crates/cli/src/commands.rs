@@ -9,11 +9,11 @@ use gpumech_core::{
     summarize_population, Gpumech, Model, Prediction, PredictionRequest, SchedulingPolicy,
     SelectionMethod, StallCategory, Weighting,
 };
-use gpumech_exec::{BatchEngine, BatchJob, BatchOptions, ProfileCache};
-use gpumech_isa::SimConfig;
+use gpumech_exec::{BatchEngine, BatchError, BatchJob, BatchOptions, ExecError, ProfileCache};
+use gpumech_isa::{Kernel, SimConfig};
 use gpumech_obs::Recorder;
 use gpumech_timing::simulate;
-use gpumech_trace::{workloads, Workload};
+use gpumech_trace::{workloads, TraceError, Workload};
 use serde::{Serialize, Value};
 
 use crate::args::{ArgError, Args};
@@ -251,7 +251,7 @@ where
             )?;
             with_obs(&args, || cmd_batch(&args))
         }
-        "lint" => cmd_lint(&Args::parse(rest, &["format", "min-severity"])?),
+        "lint" => cmd_lint(&Args::parse(rest, &["format", "min-severity", "from-json"])?),
         "obs-validate" => cmd_obs_validate(&Args::parse(rest, &[])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -553,13 +553,31 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
 
     let points = sweep_configs(args, &cfg)?;
     let mut jobs = Vec::with_capacity(selected.len() * points.len());
+    // Kernels rejected by static verification are skipped (one typed
+    // failure row per sweep point) rather than aborting the whole batch.
+    let mut rejected: Vec<BatchError> = Vec::new();
     for w in &selected {
         let w = match blocks {
             Some(b) => w.clone().with_blocks(b),
             None => w.clone(),
         };
-        let trace =
-            Arc::new(w.trace().map_err(|e| CliError::Model(format!("{}: {e}", w.name)))?);
+        let trace = match w.trace() {
+            Ok(t) => Arc::new(t),
+            Err(TraceError::RejectedByAnalysis { kernel, findings, .. }) => {
+                for (suffix, _) in &points {
+                    rejected.push(BatchError {
+                        label: format!("{}{suffix}", w.name),
+                        config_fingerprint: 0,
+                        error: ExecError::RejectedByAnalysis {
+                            kernel: kernel.clone(),
+                            findings: findings.clone(),
+                        },
+                    });
+                }
+                continue;
+            }
+            Err(e) => return Err(CliError::Model(format!("{}: {e}", w.name))),
+        };
         for (suffix, cfg) in &points {
             let mut job =
                 BatchJob::new(format!("{}{suffix}", w.name), Arc::clone(&trace), cfg.clone());
@@ -598,15 +616,26 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let mut out = format!(
         "# batch: {} job(s) ({} kernel(s) x {} config(s)), workers={workers}\n\
          {:<40}{:>10}{:>10}\n",
-        jobs.len(),
+        jobs.len() + rejected.len(),
         selected.len(),
         points.len(),
         "job",
         "CPI",
         "IPC"
     );
-    let mut rows = Vec::with_capacity(jobs.len());
+    let mut rows = Vec::with_capacity(jobs.len() + rejected.len());
     let mut failures = 0usize;
+    for e in &rejected {
+        failures += 1;
+        out.push_str(&format!("{:<40}  skipped: {}\n", e.label, e.error));
+        rows.push(BatchRow {
+            label: e.label.clone(),
+            cpi: None,
+            ipc: None,
+            error: Some(e.to_string()),
+            warnings: Vec::new(),
+        });
+    }
     for (job, r) in jobs.iter().zip(&results) {
         match r {
             Ok(p) => {
@@ -644,7 +673,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     }
     out.push_str(&format!(
         "# {} ok, {failures} failed; {} cached analysis(es); {dt:.2?} wall\n",
-        jobs.len() - failures,
+        jobs.len() + rejected.len() - failures,
         engine.cache().len(),
     ));
     if let Some(path) = args.flag("json") {
@@ -939,15 +968,24 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
             })
         }
     };
-    let selected: Vec<Workload> = if target == "all" {
-        workloads::all()
+    // Kernels to lint: a JSON file of serialized kernels (external input),
+    // or the named catalogue workload, or the whole catalogue.
+    let kernels: Vec<Kernel> = if let Some(path) = args.flag("from-json") {
+        let text = std::fs::read_to_string(path)?;
+        // Accept both a single kernel object and an array of kernels.
+        serde_json::from_str::<Vec<Kernel>>(&text)
+            .or_else(|_| serde_json::from_str::<Kernel>(&text).map(|k| vec![k]))
+            .map_err(|e| CliError::Model(format!("{path}: {e}")))?
+    } else if target == "all" {
+        workloads::all().into_iter().map(|w| w.kernel).collect()
     } else {
         vec![workloads::by_name(target)
-            .ok_or_else(|| CliError::UnknownKernel(target.to_string()))?]
+            .ok_or_else(|| CliError::UnknownKernel(target.to_string()))?
+            .kernel]
     };
 
     let analyses: Vec<(String, KernelAnalysis)> =
-        selected.iter().map(|w| (w.name.clone(), analyze(&w.kernel))).collect();
+        kernels.iter().map(|k| (k.name.clone(), analyze(k))).collect();
     let count = |sev| {
         analyses
             .iter()
@@ -972,7 +1010,7 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
                 let m = &a.metrics;
                 out.push_str(&format!(
                     "{:<28}{:<9}{:>6} insts  {:>2}/{:<2} branches divergent  \
-                     mem b/c/s/x {}/{}/{}/{}\n",
+                     mem b/c/s/x {}/{}/{}/{}",
                     name,
                     a.max_severity().map_or("clean".to_string(), |s| s.to_string()),
                     m.insts,
@@ -983,6 +1021,13 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
                     m.strided_accesses,
                     m.scattered_accesses,
                 ));
+                if m.shared_accesses > 0 {
+                    out.push_str(&format!(
+                        "  shared {}: {} race pair(s), {}-way banks",
+                        m.shared_accesses, m.race_pairs, m.max_bank_degree,
+                    ));
+                }
+                out.push('\n');
                 for d in a.diagnostics_at_least(min) {
                     out.push_str(&format!("    {d}\n"));
                 }

@@ -46,7 +46,9 @@ COMMANDS:
     intervals <kernel>           dump the representative warp's intervals (--limit N)
     batch [kernels...|all]       predict many kernels (and swept configurations)
                                  in parallel with profile caching (default: all 40)
-    lint [kernel|all]            statically analyze kernel IR (default: all 40)
+    lint [kernel|all]            statically analyze and verify kernel IR:
+                                 structure, divergence, barriers, shared-memory
+                                 races, bank conflicts (default: all 40)
     obs-validate <path>          check an --obs-out JSONL trace against the
                                  exporter schema and naming scheme
     help                         this text
@@ -97,4 +99,11 @@ LINT FLAGS:
     --min-severity S  info|warning|error (default info); exit is nonzero
                       whenever any error-severity finding exists,
                       regardless of this display filter
+    --from-json PATH  lint kernels deserialized from a JSON file (one
+                      kernel object or an array) instead of the catalogue
+
+EXIT CODES:
+    0  success        1  usage or pipeline error
+    2  lint found error-severity findings
+    3  obs-validate found schema violations
 ";

@@ -1,8 +1,19 @@
 //! The `gpumech` binary: a thin dispatcher over [`gpumech_cli::run`].
+//!
+//! Exit taxonomy (documented in the README): 0 = success, 1 = usage or
+//! pipeline error, 2 = `lint` found Error-severity findings, 3 =
+//! `obs-validate` found schema violations. CI gates on the distinction:
+//! a defective *kernel* (2) is actionable differently from a broken
+//! *invocation* (1).
 
 use std::process::ExitCode;
 
 use gpumech_cli::CliError;
+
+/// Exit code for `lint` verification failures.
+const EXIT_LINT_FAILED: u8 = 2;
+/// Exit code for `obs-validate` schema failures.
+const EXIT_OBS_INVALID: u8 = 3;
 
 fn main() -> ExitCode {
     match gpumech_cli::run(std::env::args().skip(1)) {
@@ -15,14 +26,14 @@ fn main() -> ExitCode {
         Err(CliError::LintFailed { report, errors }) => {
             print!("{report}");
             eprintln!("error: lint found {errors} error-severity finding(s)");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_LINT_FAILED)
         }
         // Same shape for trace validation: full problem list, then the
         // one-line error and a nonzero exit.
         Err(CliError::ObsInvalid { report, problems }) => {
             print!("{report}");
             eprintln!("error: observability trace failed validation with {problems} problem(s)");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_OBS_INVALID)
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -95,6 +95,15 @@ pub enum ExecError {
         /// Consecutive failures that tripped the breaker.
         failures: u32,
     },
+    /// Static verification rejected the kernel before any tracing: every
+    /// job over this kernel is skipped (a prediction for an undefined
+    /// kernel would be meaningless, not merely inaccurate).
+    RejectedByAnalysis {
+        /// Name of the rejected kernel.
+        kernel: String,
+        /// Rendered Error-severity findings, in severity order.
+        findings: Vec<String>,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -112,6 +121,15 @@ impl fmt::Display for ExecError {
             ExecError::CircuitOpen { kernel, failures } => {
                 write!(f, "circuit breaker open for kernel {kernel:?} after {failures} consecutive failures")
             }
+            ExecError::RejectedByAnalysis { kernel, findings } => {
+                write!(
+                    f,
+                    "kernel {kernel:?} rejected by static verification ({} finding{}): {}",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                    findings.first().map_or("", String::as_str)
+                )
+            }
         }
     }
 }
@@ -124,7 +142,8 @@ impl std::error::Error for ExecError {
             | ExecError::ResultLost { .. }
             | ExecError::Deadline
             | ExecError::Cancelled
-            | ExecError::CircuitOpen { .. } => None,
+            | ExecError::CircuitOpen { .. }
+            | ExecError::RejectedByAnalysis { .. } => None,
         }
     }
 }

@@ -30,9 +30,17 @@
 //! [`simulate_midwrite_kill`] — which corrupt the crash-safe profile
 //! cache's on-disk entries in every way the format must detect.
 //!
+//! Finally, the static verifier is held to a completeness contract by
+//! the [`defects`] module: seeded injectors that plant semantic defects
+//! (divergent barriers, shared-memory races, pathological bank strides)
+//! into structurally-valid kernel IR, which `gpumech_analyze::analyze`
+//! must report — with the right finding code — on every mutant.
+//!
 //! All randomness is derived from [`gpumech_trace::splitmix64`], so every
 //! mutation is a pure function of its seed: a failing case found in CI
 //! reproduces byte-for-byte locally.
+
+pub mod defects;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;

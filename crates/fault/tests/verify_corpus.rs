@@ -1,0 +1,107 @@
+//! Defective-kernel corpus suite: the static verifier must detect every
+//! planted defect with its expected finding code, stay quiet (no Error
+//! findings) on the healthy workload library, and reject
+//! barrier-divergence mutants before a single warp is traced.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use gpumech_analyze::{analyze, RejectReason, Severity};
+use gpumech_fault::defects::KERNEL_MUTATORS;
+use gpumech_trace::{trace_kernel, workloads, TraceError};
+
+/// Three spread-out seeds per (workload, injector) pair — enough to hit
+/// different injection sites without turning the suite into a soak test.
+const SEEDS: &[u64] = &[0x5EED_0001, 0xBAD_CAFE_F00D, 0x1234_5678_9ABC_DEF0];
+
+#[test]
+fn clean_library_has_zero_error_findings() {
+    let mut racy: Vec<String> = Vec::new();
+    for w in workloads::all() {
+        let analysis = analyze(&w.kernel);
+        assert!(
+            analysis.diagnostics.iter().all(|d| d.severity != Severity::Error),
+            "{} carries an Error finding: {:?}",
+            w.name,
+            analysis.diagnostics
+        );
+        assert_eq!(analysis.reject_reason(), None, "{} would be rejected", w.name);
+        if analysis.diagnostics.iter().any(|d| d.code == "shared-race") {
+            racy.push(w.name.clone());
+        }
+    }
+    // The five library kernels with genuine (benign-by-construction)
+    // cross-warp shared-memory overlaps — and only those five.
+    racy.sort();
+    assert_eq!(
+        racy,
+        [
+            "backprop_layerforward",
+            "parboil_sgemm",
+            "pathfinder_dynproc",
+            "sdk_matrixmul",
+            "sdk_reduction"
+        ]
+    );
+}
+
+#[test]
+fn every_planted_defect_is_detected_with_its_finding_code() {
+    let library = workloads::all();
+    for &(name, inject, code) in KERNEL_MUTATORS {
+        let mut applied = 0u32;
+        for w in &library {
+            for &seed in SEEDS {
+                let mut kernel = w.kernel.clone();
+                if !inject(&mut kernel, seed) {
+                    continue;
+                }
+                applied += 1;
+                // The defect must be semantic, not structural: validate
+                // still passes, so only the verifier can catch it.
+                kernel
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{name} broke {} structurally: {e}", w.name));
+                let analysis = analyze(&kernel);
+                assert!(
+                    analysis.diagnostics.iter().any(|d| d.code == code),
+                    "{name} on {} (seed {seed:#x}) went undetected; findings: {:?}",
+                    w.name,
+                    analysis.diagnostics
+                );
+            }
+        }
+        assert!(applied >= 6, "{name} found only {applied} injection sites across the library");
+    }
+}
+
+#[test]
+fn barrier_defects_are_rejected_before_tracing() {
+    let &(_, inject, _) = KERNEL_MUTATORS
+        .iter()
+        .find(|(n, _, _)| *n == "inject_divergent_barrier")
+        .expect("corpus includes the barrier injector");
+    let mut rejected: Vec<String> = Vec::new();
+    for w in workloads::all() {
+        let mut kernel = w.kernel.clone();
+        if !inject(&mut kernel, 7) {
+            continue;
+        }
+        match trace_kernel(&kernel, w.launch) {
+            Err(TraceError::RejectedByAnalysis { reason, findings, .. }) => {
+                assert_eq!(reason, RejectReason::BarrierDivergence, "{}", w.name);
+                assert!(
+                    findings.iter().any(|f| f.contains("barrier-divergence")),
+                    "{}: {findings:?}",
+                    w.name
+                );
+                rejected.push(w.name.clone());
+            }
+            Ok(_) => panic!("{}: divergent-barrier mutant traced successfully", w.name),
+            Err(other) => panic!("{}: wrong rejection {other}", w.name),
+        }
+    }
+    // Exactly the two library kernels whose divergent regions contain a
+    // store — the rest of the catalogue keeps barriers at top level.
+    rejected.sort();
+    assert_eq!(rejected, ["backprop_layerforward", "sdk_reduction"]);
+}

@@ -199,6 +199,12 @@ pub enum KernelError {
         /// PC of the offending instruction.
         pc: u32,
     },
+    /// A `Sync` lies on a path with no reachable `Exit`: warps arriving at
+    /// the barrier can never be released, so the block cannot retire.
+    SyncWithoutExit {
+        /// PC of the offending barrier.
+        pc: u32,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -221,6 +227,9 @@ impl fmt::Display for KernelError {
             KernelError::UnclosedScope => f.write_str("unclosed if/loop scope at finish"),
             KernelError::MissingAddress { pc } => {
                 write!(f, "memory instruction at pc {pc} is missing an address operand")
+            }
+            KernelError::SyncWithoutExit { pc } => {
+                write!(f, "barrier at pc {pc} lies on a path that never reaches exit")
             }
         }
     }
@@ -259,7 +268,8 @@ impl Kernel {
     /// Returns the first [`KernelError`] found: out-of-range branch targets
     /// or registers, conditional branches without reconvergence PCs (or with
     /// reconvergence PCs not strictly after the branch), missing parameters,
-    /// memory instructions without addresses, or a missing trailing `Exit`.
+    /// memory instructions without addresses, a missing trailing `Exit`, or
+    /// a `Sync` on a path from which no `Exit` is reachable.
     ///
     /// This is *basic* well-formedness only; `gpumech-analyze` performs the
     /// deeper structural checks (true post-dominator reconvergence,
@@ -314,6 +324,42 @@ impl Kernel {
                     }
                     _ => {}
                 }
+            }
+        }
+        // A barrier on a path with no reachable Exit can never be released:
+        // warps that arrive park forever while the block cannot retire.
+        // Backward fixpoint over "some path from pc reaches Exit"; targets
+        // are already range-checked above.
+        let n = self.insts.len();
+        let mut reaches_exit = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pc in (0..n).rev() {
+                if reaches_exit[pc] {
+                    continue;
+                }
+                let inst = &self.insts[pc];
+                let ok = match inst.kind {
+                    InstKind::Exit => true,
+                    InstKind::Branch => {
+                        let t = inst.target.unwrap_or(0) as usize;
+                        reaches_exit[t]
+                            || (inst.cond != BranchCond::Always
+                                && pc + 1 < n
+                                && reaches_exit[pc + 1])
+                    }
+                    _ => pc + 1 < n && reaches_exit[pc + 1],
+                };
+                if ok {
+                    reaches_exit[pc] = true;
+                    changed = true;
+                }
+            }
+        }
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if inst.kind == InstKind::Sync && !reaches_exit[pc] {
+                return Err(KernelError::SyncWithoutExit { pc: pc as u32 });
             }
         }
         Ok(())
@@ -893,11 +939,69 @@ mod tests {
             (KernelError::BadReg { pc: 7 }, "pc 7"),
             (KernelError::UnclosedScope, "unclosed"),
             (KernelError::MissingAddress { pc: 8 }, "pc 8"),
+            (KernelError::SyncWithoutExit { pc: 9 }, "pc 9"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();
             assert!(text.contains(needle), "{text:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn sync_on_an_exitless_path_is_rejected() {
+        // 0: sync, 1: jump back to 0, 2: exit (unreachable from the sync).
+        let jump_back = StaticInst {
+            kind: InstKind::Branch,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: Some(0),
+            cond: BranchCond::Always,
+            reconv: None,
+        };
+        let sync = StaticInst {
+            kind: InstKind::Sync,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        };
+        let exit = StaticInst { kind: InstKind::Exit, ..sync.clone() };
+        let k = Kernel {
+            name: "spin".into(),
+            insts: vec![sync.clone(), jump_back.clone(), exit.clone()],
+            params: vec![],
+        };
+        assert_eq!(k.validate(), Err(KernelError::SyncWithoutExit { pc: 0 }));
+
+        // The same infinite loop without a barrier stays a lint concern,
+        // not a validation error.
+        let alu = StaticInst {
+            kind: InstKind::IntAlu,
+            op: ValueOp::Mov,
+            dst: Some(Reg(0)),
+            srcs: vec![Operand::Imm(1)],
+            target: None,
+            cond: BranchCond::Always,
+            reconv: None,
+        };
+        let k = Kernel { name: "spin2".into(), insts: vec![alu, jump_back, exit.clone()], params: vec![] };
+        assert!(k.validate().is_ok());
+
+        // A conditional escape route makes the barrier releasable.
+        let cond_back = StaticInst {
+            kind: InstKind::Branch,
+            op: ValueOp::Mov,
+            dst: None,
+            srcs: vec![Operand::Lane],
+            target: Some(0),
+            cond: BranchCond::IfNonZero,
+            reconv: Some(2),
+        };
+        let k = Kernel { name: "loop".into(), insts: vec![sync, cond_back, exit], params: vec![] };
+        assert!(k.validate().is_ok());
     }
 
     #[test]

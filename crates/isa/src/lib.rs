@@ -33,7 +33,7 @@ pub mod policy;
 
 pub use config::{CacheConfig, ConfigError, LatencyTable, SimConfig};
 pub use ids::{BlockId, CoreId, WarpId};
-pub use kernel::{AddrPattern, Kernel, KernelBuilder, Operand, Reg, StaticInst, ValueOp};
+pub use kernel::{AddrPattern, BranchCond, Kernel, KernelBuilder, Operand, Reg, StaticInst, ValueOp};
 pub use opcode::{InstKind, MemSpace};
 pub use policy::SchedulingPolicy;
 

@@ -22,7 +22,7 @@
 //! fact against observed execution (`debug_assert!`), so the fast path is
 //! byte-identical to the per-lane path — see `tests/golden_workloads.rs`.
 
-use gpumech_analyze::KernelAnalysis;
+use gpumech_analyze::{KernelAnalysis, RejectReason};
 use gpumech_isa::{
     kernel::{BranchCond, KernelError, NUM_REGS},
     InstKind, Kernel, Operand, Reg, ValueOp, WarpId, WARP_SIZE,
@@ -50,6 +50,8 @@ pub enum TraceError {
     RejectedByAnalysis {
         /// Name of the rejected kernel.
         kernel: String,
+        /// Defect class that triggered the rejection.
+        reason: RejectReason,
         /// Rendered Error-severity diagnostics, in severity order.
         findings: Vec<String>,
     },
@@ -90,10 +92,10 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
-            TraceError::RejectedByAnalysis { kernel, findings } => {
+            TraceError::RejectedByAnalysis { kernel, reason, findings } => {
                 write!(
                     f,
-                    "kernel '{kernel}' rejected by static analysis ({} finding{}): {}",
+                    "kernel '{kernel}' rejected by static analysis ({reason}, {} finding{}): {}",
                     findings.len(),
                     if findings.len() == 1 { "" } else { "s" },
                     findings.first().map_or("", String::as_str)
@@ -322,6 +324,18 @@ impl<'k> WarpMachine<'k> {
                         access.class,
                     );
                 }
+                // Cross-check: the observed shared-memory bank-conflict
+                // degree must respect the analyzer's full-mask bound.
+                #[cfg(debug_assertions)]
+                if let Some(fact) = self.analysis.shared_fact(top.pc) {
+                    let observed = observed_bank_degree(&addrs);
+                    debug_assert!(
+                        observed <= fact.bank_degree,
+                        "pc {}: warp hit {observed}-way bank conflict, static bound is {}-way",
+                        top.pc,
+                        fact.bank_degree,
+                    );
+                }
             }
             insts.push(TraceInst {
                 pc: top.pc,
@@ -475,6 +489,28 @@ fn distinct_lines(addrs: &[u64]) -> u32 {
     lines.len() as u32
 }
 
+/// Bank-conflict degree of one warp access under the default 32-bank × 4 B
+/// geometry (the model the pre-trace analysis uses): max distinct words in
+/// any one bank, lanes sharing a word broadcasting in one cycle.
+#[cfg(debug_assertions)]
+fn observed_bank_degree(addrs: &[u64]) -> u32 {
+    let mut words: Vec<(u64, u64)> = addrs.iter().map(|a| ((a / 4) % 32, a / 4)).collect();
+    words.sort_unstable();
+    words.dedup();
+    let mut best = 0u32;
+    let mut i = 0;
+    while i < words.len() {
+        let bank = words[i].0;
+        let mut n = 0u32;
+        while i < words.len() && words[i].0 == bank {
+            n += 1;
+            i += 1;
+        }
+        best = best.max(n);
+    }
+    best.max(1)
+}
+
 /// Runs the pre-trace static analysis hook, rejecting kernels with
 /// Error-severity findings.
 fn pre_trace_analysis(kernel: &Kernel) -> Result<KernelAnalysis, TraceError> {
@@ -483,9 +519,10 @@ fn pre_trace_analysis(kernel: &Kernel) -> Result<KernelAnalysis, TraceError> {
     // structural breakage; the analyzer then catches the deeper defects.
     kernel.validate()?;
     let analysis = gpumech_analyze::analyze(kernel);
-    if analysis.has_errors() {
+    if let Some(reason) = analysis.reject_reason() {
         return Err(TraceError::RejectedByAnalysis {
             kernel: kernel.name.clone(),
+            reason,
             findings: analysis
                 .diagnostics_at_least(gpumech_analyze::Severity::Error)
                 .iter()
@@ -818,10 +855,33 @@ mod tests {
         assert!(k.validate().is_ok());
         let err = trace_kernel(&k, launch1()).expect_err("analysis must reject");
         match err {
-            TraceError::RejectedByAnalysis { kernel, findings } => {
+            TraceError::RejectedByAnalysis { kernel, reason, findings } => {
                 assert_eq!(kernel, "k");
+                assert_eq!(reason, RejectReason::Structural);
                 assert!(
                     findings.iter().any(|f| f.contains("reconv-mismatch")),
+                    "findings: {findings:?}"
+                );
+            }
+            other => panic!("expected RejectedByAnalysis, got {other}"),
+        }
+    }
+
+    #[test]
+    fn divergent_barrier_is_rejected_with_a_typed_reason() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.alu(ValueOp::CmpLt, &[Operand::Lane, Operand::Imm(8)]);
+        b.if_begin(Operand::Reg(c));
+        b.sync();
+        b.if_end();
+        let k = b.finish(vec![]);
+        assert!(k.validate().is_ok(), "divergence is beyond basic validation");
+        let err = trace_kernel(&k, launch1()).expect_err("analysis must reject");
+        match err {
+            TraceError::RejectedByAnalysis { reason, findings, .. } => {
+                assert_eq!(reason, RejectReason::BarrierDivergence);
+                assert!(
+                    findings.iter().any(|f| f.contains("barrier-divergence")),
                     "findings: {findings:?}"
                 );
             }
