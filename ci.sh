@@ -34,6 +34,11 @@
 #      corpus must be 100% detected with the right finding codes, and a
 #      debug run of the cross-check suite must confirm every static
 #      bank bound and race verdict against observed per-lane addresses
+#  12. serve: the HTTP front door's release suites (parser fuzz fan,
+#      socket-level service contract, journal corruption resume), a
+#      smoke test of the real binary (spawn, /healthz, predict,
+#      /metrics, SIGTERM drain to exit 0), and a quick bench_serve load
+#      run whose --obs-out trace must pass obs-validate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -96,5 +101,19 @@ cargo test -p gpumech-cli --release --test lint_schema -q
 # Debug build so the engine's debug_assert cross-checks are live: every
 # observed per-lane address pattern must stay within its static verdict.
 cargo test -p gpumech-trace --test verify_crosscheck -q
+
+echo "== serve =="
+cargo test -p gpumech-serve --release -q
+cargo test -p gpumech-fault --release --test journal_suite -q
+cargo test -p gpumech-cli --release --test serve_smoke -q
+# Quick load harness against the release binary: real sockets, shed +
+# deadline taxonomy, SIGTERM drain, SIGKILL/restart chaos. The drained
+# server's observability trace must validate like any other export.
+cargo run --release -p gpumech-bench --bin bench_serve -- --quick \
+  --server-bin target/release/gpumech \
+  --obs-out target/obs-serve-ci.jsonl --json target/bench-serve-ci.json
+./target/release/gpumech obs-validate target/obs-serve-ci.jsonl
+grep -q 'serve.req.ok' target/obs-serve-ci.jsonl \
+  || { echo "serve trace missing serve.* metrics"; exit 1; }
 
 echo "CI OK"

@@ -15,6 +15,9 @@
 //! * `stacks <kernel>` — CPI stacks across warp counts,
 //! * `batch [kernels...|all]` — parallel batch prediction across kernels
 //!   and swept configurations, with profile caching,
+//! * `serve` — hardened HTTP prediction service: bounded admission queue
+//!   with load-shedding, per-request deadlines, typed errors, `/healthz`,
+//!   `/readyz`, `/metrics`, and graceful SIGTERM drain,
 //! * `lint [kernel|all]` — static analysis of the kernel IR
 //!   (reconvergence correctness, dataflow, divergence, coalescing),
 //! * `obs-validate <path>` — check an `--obs-out` JSON-lines trace
@@ -46,6 +49,8 @@ COMMANDS:
     intervals <kernel>           dump the representative warp's intervals (--limit N)
     batch [kernels...|all]       predict many kernels (and swept configurations)
                                  in parallel with profile caching (default: all 40)
+    serve                        run the HTTP prediction service (POST /predict,
+                                 /healthz, /readyz, /metrics) until SIGTERM/ctrl-c
     lint [kernel|all]            statically analyze and verify kernel IR:
                                  structure, divergence, barriers, shared-memory
                                  races, bank conflicts (default: all 40)
@@ -87,6 +92,31 @@ BATCH FLAGS:
                       interrupted run can be resumed
     --resume          skip jobs already present in --journal, replaying
                       their recorded predictions byte-identically
+
+SERVE FLAGS:
+    --addr A          bind address (default 127.0.0.1)
+    --port N          bind port; 0 picks a free port, printed on stdout
+                      (default 0)
+    --workers N       request worker threads (default 4)
+    --queue-cap N     admission queue depth; a full queue sheds new work
+                      with 429 + Retry-After (default 32)
+    --request-timeout-ms N
+                      default and ceiling for per-request deadlines; an
+                      expired deadline is a typed 504 (default 30000)
+    --read-timeout-ms N
+                      socket read patience; slow-loris clients get 408
+                      (default 2000)
+    --drain-ms N      graceful-drain budget after SIGTERM/ctrl-c before
+                      in-flight work is cancelled (default 5000)
+    --max-body-bytes N / --max-header-bytes N
+                      request size budgets; oversize maps to 413
+                      (defaults 65536 / 8192)
+    --cache-dir DIR   persist the profile cache to DIR across restarts
+    --warm LIST       comma-separated kernels (or \"all\") analyzed before
+                      /readyz reports ready
+    --breaker-threshold N
+                      per-kernel circuit breaker: after N consecutive
+                      server-side failures further requests get 503
 
 OBSERVABILITY FLAGS:
     --obs-out PATH    write a JSON-lines recorder trace (predict, simulate,

@@ -167,6 +167,13 @@ impl BatchEngine {
         opts: &BatchOptions,
     ) -> Vec<Result<Prediction, BatchError>> {
         let _span = gpumech_obs::span!("exec.batch.run", jobs = jobs.len(), workers = self.workers);
+        let effective = self.effective_workers();
+        if effective < self.workers {
+            // Oversubscription is silently corrected; the counter makes
+            // the correction visible to operators comparing configured
+            // vs. actual throughput.
+            gpumech_obs::counter!("exec.pool.workers_clamped");
+        }
         // Fingerprint each distinct trace once, not once per job: a
         // config sweep shares one `Arc`d trace across many jobs, and the
         // trace fingerprint (a full-content hash) is a measurable
@@ -201,7 +208,7 @@ impl BatchEngine {
             .iter()
             .copied()
             .find(|f| matches!(f.kind, FaultKind::TaskPanic | FaultKind::PanicHoldingQueueLock));
-        let pool_opts = PoolOptions { workers: self.effective_workers(), inject: pool_inject };
+        let pool_opts = PoolOptions { workers: effective, inject: pool_inject };
 
         let results = run_indexed(&pool_opts, jobs, |i, job| {
             if let Some(entry) = completed.get(&fingerprints[i]) {

@@ -334,3 +334,33 @@ fn resilient_batch_with_disk_cache_surfaces_no_spurious_warnings() {
     );
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Requesting more workers than the host exposes is silently corrected by
+/// the engine, but never *silently*: the clamp fires the
+/// `exec.pool.workers_clamped` counter so operators can see configured vs.
+/// actual parallelism. In-budget requests must not fire it.
+#[test]
+fn oversubscribed_worker_requests_are_clamped_and_counted() {
+    let _serial = recorder_lock();
+    let host =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let rec = Arc::new(Recorder::new());
+    let engine = BatchEngine::with_cache(host + 64, ProfileCache::in_memory());
+    assert_eq!(engine.effective_workers(), host, "clamp ceiling is the host");
+    {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        let out = engine.run_with(&jobs(&["sdk_vectoradd"]), &BatchOptions::default());
+        assert!(out[0].is_ok());
+    }
+    assert_eq!(counter(&rec, "exec.pool.workers_clamped"), 1);
+
+    let rec = Arc::new(Recorder::new());
+    let engine = BatchEngine::with_cache(1, ProfileCache::in_memory());
+    {
+        let _obs = gpumech_obs::install(Arc::clone(&rec));
+        let out = engine.run_with(&jobs(&["sdk_vectoradd"]), &BatchOptions::default());
+        assert!(out[0].is_ok());
+    }
+    assert_eq!(counter(&rec, "exec.pool.workers_clamped"), 0);
+}

@@ -26,7 +26,8 @@
 //! Every span and metric name is `stage.subsystem.name`: exactly three
 //! dot-separated segments of `[a-z0-9_]+`, each starting with a letter,
 //! where `stage` is the short crate name (`isa`, `analyze`, `trace`,
-//! `mem`, `timing`, `core`, `exec`, `cli`, `bench`, `fault`). The scheme
+//! `mem`, `timing`, `core`, `exec`, `serve`, `cli`, `bench`, `fault`).
+//! The scheme
 //! is
 //! machine-checked: [`valid_metric_name`] backs `gpumech obs-validate`,
 //! which CI runs over every export.

@@ -4,8 +4,8 @@
 /// exactly three dot-separated segments, each `[a-z][a-z0-9_]*`.
 ///
 /// The first segment is the emitting stage (the short crate name:
-/// `isa`, `analyze`, `trace`, `mem`, `timing`, `core`, `exec`, `cli`,
-/// `bench`, `fault`, or `test` in unit tests); the second names the
+/// `isa`, `analyze`, `trace`, `mem`, `timing`, `core`, `exec`, `serve`,
+/// `cli`, `bench`, `fault`, or `test` in unit tests); the second names the
 /// subsystem;
 /// the third the measurement. `gpumech obs-validate` fails any export
 /// containing a name this function rejects.

@@ -1,0 +1,171 @@
+//! Deterministic fuzz fan over the HTTP request parser.
+//!
+//! Contract under test: for *any* byte input, [`parse_request`] returns a
+//! valid request or a typed [`ParseError`] — it never panics, and fatal
+//! errors map to a real HTTP status. The fan is splitmix64-seeded so a
+//! failure reproduces from its case index alone.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gpumech_serve::{parse_request, Limits, ParseError};
+use gpumech_trace::splitmix64;
+
+/// Small limits so the fan actually exercises the budget paths.
+fn limits() -> Limits {
+    Limits { max_header_bytes: 512, max_body_bytes: 1024 }
+}
+
+/// Seeds of well-formed requests the mutators corrupt.
+fn seed_requests() -> Vec<Vec<u8>> {
+    vec![
+        b"GET /healthz HTTP/1.1\r\nhost: localhost\r\n\r\n".to_vec(),
+        b"GET /metrics?verbose=1 HTTP/1.0\r\n\r\n".to_vec(),
+        b"POST /predict HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: 26\r\n\r\n{\"kernel\":\"sdk_vectoradd\"}".to_vec(),
+        b"POST /predict HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n".to_vec(),
+        b"DELETE /predict HTTP/1.1\r\nx-a: 1\r\nx-b: 2\r\n\r\n".to_vec(),
+    ]
+}
+
+/// One parse under `catch_unwind`: the contract is "typed outcome, never
+/// a panic", and on fatal errors "a real status + stable code".
+fn assert_contract(case: &str, bytes: &[u8]) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| parse_request(bytes, &limits())));
+    match outcome {
+        Err(_) => panic!("{case}: parser panicked on {:?}", String::from_utf8_lossy(bytes)),
+        Ok(Ok((req, consumed))) => {
+            assert!(consumed <= bytes.len(), "{case}: consumed past the buffer");
+            assert!(!req.method.is_empty(), "{case}: empty method accepted");
+        }
+        Ok(Err(e)) => {
+            assert!(
+                matches!(e.status(), 400 | 408 | 413 | 501),
+                "{case}: unmapped status {} for {e}",
+                e.status()
+            );
+            assert!(!e.code().is_empty(), "{case}: error without a code");
+        }
+    }
+}
+
+#[test]
+fn truncations_of_valid_requests_are_incomplete_or_typed() {
+    for (si, seed) in seed_requests().iter().enumerate() {
+        for cut in 0..seed.len() {
+            let case = format!("seed {si} cut {cut}");
+            assert_contract(&case, &seed[..cut]);
+        }
+    }
+}
+
+#[test]
+fn byte_corruptions_never_panic() {
+    let seeds = seed_requests();
+    for case_idx in 0u64..2_000 {
+        let r0 = splitmix64(0x5EED_0001 ^ case_idx);
+        let seed = &seeds[(r0 % seeds.len() as u64) as usize];
+        let mut bytes = seed.clone();
+        // 1-4 corruptions: overwrite with an arbitrary byte, biased
+        // toward the interesting ones (NUL, CR, LF, colon, space, high).
+        let n_corrupt = 1 + (splitmix64(r0) % 4) as usize;
+        for k in 0..n_corrupt {
+            let r = splitmix64(r0 ^ (k as u64).wrapping_mul(0x9E37_79B9));
+            let pos = (r % bytes.len() as u64) as usize;
+            let palette =
+                [0u8, b'\r', b'\n', b':', b' ', 0xff, 0x80, b'0', b'z', 0x7f, b'\t', b';'];
+            bytes[pos] = if r & 1 == 0 {
+                palette[((r >> 8) % palette.len() as u64) as usize]
+            } else {
+                (r >> 16) as u8
+            };
+        }
+        assert_contract(&format!("corrupt case {case_idx}"), &bytes);
+    }
+}
+
+#[test]
+fn random_byte_fans_never_panic() {
+    for case_idx in 0u64..1_000 {
+        let r0 = splitmix64(0xF00D_BABE ^ case_idx);
+        let len = (r0 % 700) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        let mut x = r0;
+        while bytes.len() < len {
+            x = splitmix64(x);
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        bytes.truncate(len);
+        assert_contract(&format!("random case {case_idx}"), &bytes);
+    }
+}
+
+#[test]
+fn hostile_chunk_sizes_are_typed() {
+    let head = b"POST /p HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+    let hostile: [&[u8]; 8] = [
+        b"zz\r\nhello\r\n0\r\n\r\n",                  // non-hex size
+        b"-5\r\nhello\r\n0\r\n\r\n",                  // negative
+        b"ffffffffffffffffffff\r\nx\r\n0\r\n\r\n",    // > 16 hex digits
+        b"400\r\n",                                   // size beyond body limit budget... incomplete
+        b"5;ext=ok\r\nhello\r\n0\r\n\r\n",            // extension (accepted)
+        b"5\r\nhelloX\r\n0\r\n\r\n",                  // missing chunk CRLF
+        b"0\r\ntrailer: x\r\n\r\n",                   // trailers unsupported
+        b"1\r\n\xff\r\n0\r\n\r\n",                    // binary chunk data (fine)
+    ];
+    for (i, tail) in hostile.iter().enumerate() {
+        let mut bytes = head.to_vec();
+        bytes.extend_from_slice(tail);
+        assert_contract(&format!("chunk case {i}"), &bytes);
+    }
+    // And the two that must have specific verdicts:
+    let mut bad = head.to_vec();
+    bad.extend_from_slice(b"zz\r\nhello\r\n0\r\n\r\n");
+    assert!(matches!(
+        parse_request(&bad, &limits()).unwrap_err(),
+        ParseError::BadChunkSize(_)
+    ));
+    let mut huge = head.to_vec();
+    huge.extend_from_slice(b"fff\r\n"); // 4095 > 1024 body budget
+    assert!(matches!(
+        parse_request(&huge, &limits()).unwrap_err(),
+        ParseError::BodyTooLarge { .. }
+    ));
+}
+
+#[test]
+fn oversized_headers_reject_with_or_without_terminator() {
+    // Grown header, no terminator: must flip from Incomplete to
+    // HeadersTooLarge exactly when the budget is exceeded, not OOM later.
+    let mut raw = b"GET / HTTP/1.1\r\nx: ".to_vec();
+    while raw.len() <= 512 {
+        raw.push(b'a');
+        let out = parse_request(&raw, &limits());
+        if raw.len() <= 512 {
+            assert!(matches!(out, Err(ParseError::Incomplete)), "at {}", raw.len());
+        }
+    }
+    assert!(matches!(
+        parse_request(&raw, &limits()),
+        Err(ParseError::HeadersTooLarge { limit: 512 })
+    ));
+    // With a terminator the verdict is the same.
+    raw.extend_from_slice(b"\r\n\r\n");
+    assert!(matches!(
+        parse_request(&raw, &limits()),
+        Err(ParseError::HeadersTooLarge { limit: 512 })
+    ));
+}
+
+#[test]
+fn nul_bytes_in_structure_are_rejected() {
+    for raw in [
+        &b"G\0T / HTTP/1.1\r\n\r\n"[..],
+        b"GET /\0 HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nx\0y: 1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nx: a\0b\r\n\r\n",
+    ] {
+        let err = parse_request(raw, &limits()).unwrap_err();
+        assert_eq!(err.status(), 400, "{err}");
+    }
+}
