@@ -39,6 +39,12 @@
 #      smoke test of the real binary (spawn, /healthz, predict,
 #      /metrics, SIGTERM drain to exit 0), and a quick bench_serve load
 #      run whose --obs-out trace must pass obs-validate
+#  13. perf gate: the gpumech-perf release suite, a fresh baseline
+#      recorded to results/PERF_BASELINE.json whose perf.* trace must
+#      validate, a clean `gpumech perf compare` within the disclosed
+#      noise tolerance (+40% +2 ms wall, +10% +256 allocs, min-of-N),
+#      proof that a fault-injected 300 ms slowdown exits 4, and the
+#      folded-stack exporter round-tripped through obs-validate --folded
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -115,5 +121,27 @@ cargo run --release -p gpumech-bench --bin bench_serve -- --quick \
 ./target/release/gpumech obs-validate target/obs-serve-ci.jsonl
 grep -q 'serve.req.ok' target/obs-serve-ci.jsonl \
   || { echo "serve trace missing serve.* metrics"; exit 1; }
+
+echo "== perf gate =="
+cargo test -p gpumech-perf --release -q
+# Record this host's baseline (committed as results/PERF_BASELINE.json so
+# the repo always carries the build machine's latest numbers) and check
+# the suite's own telemetry: the perf.* metric family must validate.
+./target/release/gpumech perf record --obs-out target/obs-perf-ci.jsonl
+./target/release/gpumech obs-validate target/obs-perf-ci.jsonl
+grep -q 'perf.alloc.count' target/obs-perf-ci.jsonl \
+  || { echo "perf trace missing perf.alloc.* metrics"; exit 1; }
+# The gate proper: a clean re-run stays within the disclosed tolerance
+# (+40% +2 ms wall, +10% +256 allocs over the recorded min-of-N) ...
+./target/release/gpumech perf compare
+# ... and a fault-injected 300 ms sleep must be caught with exit code 4.
+rc=0
+./target/release/gpumech perf compare --slow e2e_batch=300 > /dev/null || rc=$?
+[ "$rc" -eq 4 ] \
+  || { echo "perf gate missed an injected slowdown (exit $rc, want 4)"; exit 1; }
+# Folded-stack export round-trips through the validator.
+./target/release/gpumech profile sdk_vectoradd --blocks 4 \
+  --folded-out target/obs-ci.folded > /dev/null
+./target/release/gpumech obs-validate --folded target/obs-ci.folded
 
 echo "CI OK"

@@ -61,9 +61,13 @@ struct CacheSweep {
 }
 
 /// The whole report, written by `--json` (ci.sh commits it as
-/// `BENCH_parallel.json`).
+/// `BENCH_parallel.json`). `git_commit` and `config_fingerprint` tie the
+/// numbers to the exact build and Table I machine they measured, so two
+/// archived reports are comparable only when both provenance fields match.
 #[derive(Serialize)]
 struct Report {
+    git_commit: String,
+    config_fingerprint: u64,
     blocks: usize,
     kernels: usize,
     host_cpus: usize,
@@ -224,6 +228,8 @@ fn main() {
 
     if let Some(path) = flag(&args, "--json") {
         let report = Report {
+            git_commit: gpumech_perf::git_commit(),
+            config_fingerprint: gpumech_exec::analysis_config_fingerprint(&cfg),
             blocks,
             kernels: traces.len(),
             host_cpus: cpus(),

@@ -63,8 +63,13 @@ struct DrainReport {
     obs_trace: String,
 }
 
+/// `git_commit` and `config_fingerprint` tie the numbers to the exact
+/// build and Table I machine they measured — archived reports are only
+/// comparable when both provenance fields match.
 #[derive(Serialize)]
 struct Report {
+    git_commit: String,
+    config_fingerprint: u64,
     clients: usize,
     requests_per_client: usize,
     total_requests: usize,
@@ -417,6 +422,10 @@ fn main() {
         *statuses.entry(o.status.to_string()).or_default() += 1;
     }
     let report = Report {
+        git_commit: gpumech_perf::git_commit(),
+        config_fingerprint: gpumech_exec::analysis_config_fingerprint(
+            &gpumech_isa::SimConfig::table1(),
+        ),
         clients,
         requests_per_client: requests,
         total_requests: total,

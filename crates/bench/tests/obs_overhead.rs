@@ -81,3 +81,18 @@ fn disabled_probe_costs_one_branch() {
     // headroom over the ~ns they actually take.
     assert!(per < Duration::from_micros(100), "disabled probes too slow: {per:?} per 100");
 }
+
+#[test]
+fn disabled_alloc_counting_costs_one_relaxed_load() {
+    // With no AllocScope live, the counting global allocator adds one
+    // relaxed load and a branch per alloc/free. Same budget discipline as
+    // the probe test: 100 boxed allocations in well under 100 us means
+    // the counting path stayed out of the fast path.
+    assert!(!gpumech_perf::counting_enabled(), "leftover AllocScope from another test");
+    let per = bench_wall("disabled alloc counting x100", 10_000, || {
+        for i in 0..100u64 {
+            std::hint::black_box(Box::new(i));
+        }
+    });
+    assert!(per < Duration::from_micros(100), "disabled-path allocs too slow: {per:?} per 100");
+}

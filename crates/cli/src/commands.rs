@@ -9,9 +9,16 @@ use gpumech_core::{
     summarize_population, Gpumech, Model, Prediction, PredictionRequest, SchedulingPolicy,
     SelectionMethod, StallCategory, Weighting,
 };
-use gpumech_exec::{BatchEngine, BatchError, BatchJob, BatchOptions, ExecError, ProfileCache};
+use gpumech_exec::{
+    analysis_config_fingerprint, BatchEngine, BatchError, BatchJob, BatchOptions, ExecError,
+    ProfileCache,
+};
 use gpumech_isa::{Kernel, SimConfig};
 use gpumech_obs::Recorder;
+use gpumech_perf::{
+    baseline::BASELINE_VERSION, run_suite, suite_config, Baseline, SuiteOptions, Tolerance,
+    STAGE_NAMES,
+};
 use gpumech_timing::simulate;
 use gpumech_trace::{workloads, TraceError, Workload};
 use serde::{Serialize, Value};
@@ -62,6 +69,15 @@ pub enum CliError {
         /// Number of violations.
         problems: usize,
     },
+    /// `perf compare` found stages regressed beyond the noise tolerance.
+    /// The report carries the full comparison table so `main` can print
+    /// it before exiting nonzero.
+    PerfRegression {
+        /// Rendered comparison table (same text a clean run would print).
+        report: String,
+        /// Number of regressed stages.
+        regressions: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -85,6 +101,9 @@ impl fmt::Display for CliError {
             }
             CliError::ObsInvalid { problems, .. } => {
                 write!(f, "observability trace failed validation with {problems} problem(s)")
+            }
+            CliError::PerfRegression { regressions, .. } => {
+                write!(f, "perf compare found {regressions} regressed stage(s)")
             }
         }
     }
@@ -232,7 +251,7 @@ where
         }
         "profile" => cmd_profile(&Args::parse(
             rest,
-            &["blocks", "warps", "mshrs", "bw", "sfu", "obs-out", "chrome-out"],
+            &["blocks", "warps", "mshrs", "bw", "sfu", "obs-out", "chrome-out", "folded-out"],
         )?),
         "intervals" => {
             let args = Args::parse(
@@ -242,6 +261,9 @@ where
             with_obs(&args, || cmd_intervals(&args))
         }
         "batch" => {
+            // `batch` always records (it surfaces exec.cache/exec.resilience
+            // counters in its summary), so it installs its own recorder
+            // rather than going through `with_obs`.
             let args = Args::parse_with_switches(
                 rest,
                 &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection",
@@ -249,7 +271,14 @@ where
                   "deadline-ms", "retries", "breaker-threshold", "journal"],
                 &["resume"],
             )?;
-            with_obs(&args, || cmd_batch(&args))
+            cmd_batch(&args)
+        }
+        "perf" => {
+            let args = Args::parse(
+                rest,
+                &["out", "baseline", "iters", "warmup", "slow", "tolerance", "obs-out"],
+            )?;
+            with_obs(&args, || cmd_perf(&args))
         }
         "serve" => {
             let args = Args::parse_with_switches(
@@ -262,7 +291,7 @@ where
             with_obs(&args, || cmd_serve(&args))
         }
         "lint" => cmd_lint(&Args::parse(rest, &["format", "min-severity", "from-json"])?),
-        "obs-validate" => cmd_obs_validate(&Args::parse(rest, &[])?),
+        "obs-validate" => cmd_obs_validate(&Args::parse_with_switches(rest, &[], &["folded"])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -626,9 +655,17 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
              running with {effective} worker(s)"
         );
     }
+    // Always record: the summary surfaces exec.cache / exec.resilience
+    // counters whether or not --obs-out asked for the full trace.
+    let _serial = OBS_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Arc::new(Recorder::new());
     let t0 = std::time::Instant::now();
-    let results = engine.run_with(&jobs, &opts);
+    let results = {
+        let _installed = gpumech_obs::install(Arc::clone(&rec));
+        engine.run_with(&jobs, &opts)
+    };
     let dt = t0.elapsed();
+    let snap = rec.snapshot();
 
     let mut out = format!(
         "# batch: {} job(s) ({} kernel(s) x {} config(s)), workers={workers}\n\
@@ -693,6 +730,23 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         jobs.len() + rejected.len() - failures,
         engine.cache().len(),
     ));
+    // Cache and resilience behaviour, visible without --obs-out: every
+    // exec.cache.* / exec.resilience.* counter the run incremented.
+    for family in ["exec.cache.", "exec.resilience."] {
+        let line: Vec<String> = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(family))
+            .map(|(name, agg)| {
+                let short = name.rsplit('.').next().unwrap_or(name);
+                format!("{short}={}", agg.total)
+            })
+            .collect();
+        if !line.is_empty() {
+            let label = family.trim_end_matches('.');
+            out.push_str(&format!("# {label}: {}\n", line.join(" ")));
+        }
+    }
     if let Some(path) = args.flag("json") {
         let report =
             BatchReport { workers, cache_entries: engine.cache().len(), jobs: rows };
@@ -700,6 +754,10 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             serde_json::to_string_pretty(&report).map_err(|e| CliError::Model(e.to_string()))?;
         std::fs::write(path, json)?;
         out.push_str(&format!("batch report written to {path}\n"));
+    }
+    if let Some(path) = args.flag("obs-out") {
+        std::fs::write(path, gpumech_obs::to_jsonl(&snap))?;
+        out.push_str(&format!("observability trace written to {path}\n"));
     }
     Ok(out)
 }
@@ -825,7 +883,150 @@ fn cmd_profile(args: &Args) -> Result<String, CliError> {
         std::fs::write(path, gpumech_obs::to_chrome_trace(&snap))?;
         out.push_str(&format!("Chrome trace written to {path}\n"));
     }
+    if let Some(path) = args.flag("folded-out") {
+        std::fs::write(path, gpumech_perf::to_folded(&snap))?;
+        out.push_str(&format!("folded stacks written to {path}\n"));
+    }
+    // Self-time attribution: where the wall time actually went, not just
+    // which stage contained it.
+    let attrs = gpumech_perf::attribute(&snap);
+    if !attrs.is_empty() {
+        out.push_str("\n== self-time attribution ==\n");
+        out.push_str(&format!(
+            "{:<44}{:>6}{:>12}{:>12}{:>12}\n",
+            "span", "count", "total", "self", "child"
+        ));
+        for a in &attrs {
+            out.push_str(&format!(
+                "{:<44}{:>6}{:>11.3}m{:>11.3}m{:>11.3}m\n",
+                a.name,
+                a.count,
+                a.total_ns as f64 / 1e6,
+                a.self_ns as f64 / 1e6,
+                a.child_ns as f64 / 1e6,
+            ));
+        }
+    }
     Ok(out)
+}
+
+/// Parses `--slow stage=millis[,stage=millis...]` into suite slowdowns —
+/// the fault hook the perf-gate acceptance test uses.
+fn parse_slow(args: &Args) -> Result<Vec<(String, u64)>, CliError> {
+    let Some(spec) = args.flag("slow") else {
+        return Ok(Vec::new());
+    };
+    let bad = |value: &str| CliError::BadChoice {
+        flag: "slow",
+        value: value.to_string(),
+        expected: "stage=millis[,stage=millis...] with a known stage name",
+    };
+    spec.split(',')
+        .map(|part| {
+            let (name, ms) = part.split_once('=').ok_or_else(|| bad(part))?;
+            if !STAGE_NAMES.contains(&name) {
+                return Err(bad(part));
+            }
+            let ms: u64 = ms.parse().map_err(|_| bad(part))?;
+            Ok((name.to_string(), ms))
+        })
+        .collect()
+}
+
+/// `gpumech perf record|compare`: run the named micro-benchmark suite and
+/// either persist a baseline or gate against one.
+fn cmd_perf(args: &Args) -> Result<String, CliError> {
+    let action = args.required(0, "record|compare")?;
+    let opts = SuiteOptions {
+        iters: args.flag_or("iters", 5u32)?,
+        warmup: args.flag_or("warmup", 2u32)?,
+        slow: parse_slow(args)?,
+    };
+    match action {
+        "record" => cmd_perf_record(args, &opts),
+        "compare" => cmd_perf_compare(args, &opts),
+        other => Err(CliError::BadChoice {
+            flag: "perf",
+            value: other.to_string(),
+            expected: "record|compare",
+        }),
+    }
+}
+
+/// Default baseline location, shared by `record` and `compare`.
+const PERF_BASELINE_PATH: &str = "results/PERF_BASELINE.json";
+
+fn render_suite_table(results: &[gpumech_perf::BenchResult]) -> String {
+    let mut out = format!(
+        "{:<12}{:>12}{:>12}{:>10}{:>14}{:>14}\n",
+        "stage", "min", "mean", "allocs", "alloc_bytes", "peak_live"
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<12}{:>11.3}m{:>11.3}m{:>10}{:>14}{:>14}\n",
+            r.name,
+            r.min_ns as f64 / 1e6,
+            r.mean_ns as f64 / 1e6,
+            r.allocs,
+            r.alloc_bytes,
+            r.peak_live_bytes,
+        ));
+    }
+    out
+}
+
+fn cmd_perf_record(args: &Args, opts: &SuiteOptions) -> Result<String, CliError> {
+    let results = run_suite(opts).map_err(|e| CliError::Model(e.to_string()))?;
+    let baseline = Baseline {
+        version: BASELINE_VERSION,
+        git_commit: gpumech_perf::git_commit(),
+        config_fingerprint: analysis_config_fingerprint(&suite_config()),
+        iters: opts.iters,
+        warmup: opts.warmup,
+        results,
+    };
+    let path = args.flag("out").unwrap_or(PERF_BASELINE_PATH);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut json = baseline.to_json().map_err(|e| CliError::Model(e.to_string()))?;
+    json.push('\n');
+    std::fs::write(path, json)?;
+    let mut out = format!(
+        "# perf record: {} stage(s), min-of-{} after {} warmup, commit {}\n",
+        baseline.results.len(),
+        baseline.iters,
+        baseline.warmup,
+        baseline.git_commit,
+    );
+    out.push_str(&render_suite_table(&baseline.results));
+    out.push_str(&format!("baseline written to {path}\n"));
+    Ok(out)
+}
+
+fn cmd_perf_compare(args: &Args, opts: &SuiteOptions) -> Result<String, CliError> {
+    let path = args.flag("baseline").unwrap_or(PERF_BASELINE_PATH);
+    let text = std::fs::read_to_string(path)?;
+    let base = Baseline::from_json(&text).map_err(|e| CliError::Model(e.to_string()))?;
+    let tol_pct: f64 = args.flag_or("tolerance", 40.0)?;
+    let tol = Tolerance { rel: tol_pct / 100.0, ..Tolerance::default() };
+    let results = run_suite(opts).map_err(|e| CliError::Model(e.to_string()))?;
+    let cmp = gpumech_perf::compare(&base, &results, tol);
+    let mut report = format!("# baseline: {path} (commit {})\n", base.git_commit);
+    if base.config_fingerprint != analysis_config_fingerprint(&suite_config()) {
+        report.push_str(
+            "# warning: baseline was recorded against a different machine configuration\n",
+        );
+    }
+    report.push_str(&cmp.render());
+    let regressions = cmp.regressions();
+    if regressions > 0 {
+        Err(CliError::PerfRegression { report, regressions })
+    } else {
+        Ok(report)
+    }
 }
 
 fn cmd_intervals(args: &Args) -> Result<String, CliError> {
@@ -886,15 +1087,48 @@ fn num_or_null(v: &Value, key: &str) -> bool {
         || v.get_field(key).and_then(Value::as_f64).is_some()
 }
 
+/// Stage families a conforming export may emit under — the short crate
+/// names of every instrumented layer (`test` covers unit-test fixtures).
+const STAGE_FAMILIES: [&str; 13] = [
+    "isa", "analyze", "trace", "mem", "timing", "core", "exec", "serve", "cli", "bench", "fault",
+    "perf", "test",
+];
+
+/// Subsystems the `perf.*` family is allowed to emit under: the suite's
+/// stage spans, the allocation counters, and the benchmark metrics.
+const PERF_SUBSYSTEMS: [&str; 3] = ["suite", "alloc", "bench"];
+
+/// Checks one scheme-shaped name against the stage-family allowlist, and
+/// the `perf.*` family against its subsystem allowlist.
+fn check_name_family(name: &str, what: &str, lineno: usize, problems: &mut Vec<String>) {
+    let mut segs = name.split('.');
+    let stage = segs.next().unwrap_or("");
+    if !STAGE_FAMILIES.contains(&stage) {
+        problems.push(format!(
+            "line {lineno}: {what} name {name:?} uses unknown stage family {stage:?}"
+        ));
+        return;
+    }
+    if stage == "perf" {
+        let sub = segs.next().unwrap_or("");
+        if !PERF_SUBSYSTEMS.contains(&sub) {
+            problems.push(format!(
+                "line {lineno}: {what} name {name:?} outside the perf.* family \
+                 (subsystem must be one of suite|alloc|bench)"
+            ));
+        }
+    }
+}
+
 /// Checks the `name` field of an obs line against the
-/// `stage.subsystem.name` scheme.
+/// `stage.subsystem.name` scheme and the stage-family allowlist.
 fn check_obs_name(v: &Value, what: &str, lineno: usize, problems: &mut Vec<String>) {
     match field_str(v, "name") {
         None => problems.push(format!("line {lineno}: {what} missing string \"name\"")),
         Some(name) if !gpumech_obs::valid_metric_name(name) => problems.push(format!(
             "line {lineno}: {what} name {name:?} outside the stage.subsystem.name scheme"
         )),
-        Some(_) => {}
+        Some(name) => check_name_family(name, what, lineno, problems),
     }
 }
 
@@ -970,17 +1204,83 @@ fn check_obs_line(v: &Value, lineno: usize, counts: &mut [usize; 4], problems: &
             counts[3] += 1;
             check_obs_kind(v, "aggregate", lineno, problems);
             check_obs_name(v, "aggregate", lineno, problems);
+            // Histogram aggregates carry the quantile-histogram schema:
+            // count/sum plus min/max and p50/p90/p99 (number, or null
+            // before any finite observation) and populated log buckets.
+            if field_str(v, "kind") == Some("histogram") {
+                if field_u64(v, "count").is_none() {
+                    problems
+                        .push(format!("line {lineno}: histogram missing integer \"count\""));
+                }
+                for key in ["min", "max", "p50", "p90", "p99"] {
+                    if !num_or_null(v, key) {
+                        problems.push(format!(
+                            "line {lineno}: histogram {key:?} must be number or null"
+                        ));
+                    }
+                }
+                match v.get_field("buckets") {
+                    Some(Value::Array(_)) => {}
+                    _ => problems
+                        .push(format!("line {lineno}: histogram missing \"buckets\" array")),
+                }
+            }
         }
         other => problems.push(format!("line {lineno}: unknown line type {other:?}")),
     }
 }
 
+/// Validates a `--folded-out` folded-stack export: every line is
+/// `frame(;frame)* <u64>` with scheme-valid frame names.
+fn validate_folded(path: &str, text: &str) -> Result<String, CliError> {
+    let mut problems: Vec<String> = Vec::new();
+    let mut stacks = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            problems.push(format!("line {lineno}: empty line"));
+            continue;
+        }
+        let Some((stack, value)) = line.rsplit_once(' ') else {
+            problems.push(format!("line {lineno}: no value column (expected \"stack <u64>\")"));
+            continue;
+        };
+        if value.parse::<u64>().is_err() {
+            problems.push(format!("line {lineno}: value {value:?} is not an unsigned integer"));
+        }
+        for frame in stack.split(';') {
+            if !gpumech_obs::valid_metric_name(frame) {
+                problems.push(format!(
+                    "line {lineno}: frame {frame:?} outside the stage.subsystem.name scheme"
+                ));
+            } else {
+                check_name_family(frame, "frame", lineno, &mut problems);
+            }
+        }
+        stacks += 1;
+    }
+    if problems.is_empty() {
+        Ok(format!("{path}: valid folded stacks — {stacks} stack line(s)\n"))
+    } else {
+        let mut report = String::new();
+        for p in &problems {
+            report.push_str(&format!("{path}: {p}\n"));
+        }
+        Err(CliError::ObsInvalid { report, problems: problems.len() })
+    }
+}
+
 /// Validates a `--obs-out` JSONL trace: every line parses, matches one of
 /// the four schemas, and every span/metric name is within the
-/// `stage.subsystem.name` scheme. Exits nonzero on any violation.
+/// `stage.subsystem.name` scheme (including the stage-family and
+/// `perf.*` allowlists). With `--folded`, validates a folded-stack
+/// export instead. Exits nonzero on any violation.
 fn cmd_obs_validate(args: &Args) -> Result<String, CliError> {
     let path = args.required(0, "path")?;
     let text = std::fs::read_to_string(path)?;
+    if args.switch("folded") {
+        return validate_folded(path, &text);
+    }
     let mut problems: Vec<String> = Vec::new();
     let mut counts = [0usize; 4];
     for (i, line) in text.lines().enumerate() {
@@ -1316,9 +1616,13 @@ mod tests {
         let CliError::ObsInvalid { report, problems } = e else {
             panic!("expected ObsInvalid, got {e:?}");
         };
-        assert_eq!(problems, 3, "{report}");
+        // Four problems: the off-scheme span name, the unknown metric
+        // kind, the scheme-valid but unknown-family metric name "a.b.c",
+        // and the non-JSON line.
+        assert_eq!(problems, 4, "{report}");
         assert!(report.contains("outside the stage.subsystem.name scheme"));
         assert!(report.contains("thermometer"));
+        assert!(report.contains("unknown stage family \"a\""));
         assert!(report.contains("not valid JSON"));
         std::fs::remove_file(&path).unwrap();
     }
@@ -1498,5 +1802,153 @@ mod tests {
     fn gto_policy_flag_is_accepted() {
         let out = run_ok(&["predict", "sdk_vectoradd", "--blocks", "4", "--policy", "gto"]);
         assert!(out.contains("gto policy"));
+    }
+
+    #[test]
+    fn batch_human_output_surfaces_cache_and_resilience_counters() {
+        // DRAM bandwidth is a prediction-only axis, so with one worker the
+        // second sweep point must hit the profile cache — and the human
+        // summary must say so without --obs-out or --json.
+        let out = run_ok(&[
+            "batch", "sdk_vectoradd", "--blocks", "4", "--workers", "1",
+            "--sweep", "bw=96,192",
+        ]);
+        assert!(out.contains("# exec.cache:"), "{out}");
+        assert!(out.contains("misses=1"), "{out}");
+        assert!(out.contains("hits=1"), "{out}");
+    }
+
+    #[test]
+    fn profile_folded_out_round_trips_through_obs_validate() {
+        let path = tmp_path("profile.folded");
+        let path_s = path.to_string_lossy().to_string();
+        let out =
+            run_ok(&["profile", "sdk_vectoradd", "--blocks", "4", "--folded-out", &path_s]);
+        assert!(out.contains("folded stacks written to"), "{out}");
+        assert!(out.contains("== self-time attribution =="), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("core.pipeline.analyze"), "{text}");
+        let verdict = run_ok(&["obs-validate", "--folded", &path_s]);
+        assert!(verdict.contains("valid folded stacks"), "{verdict}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn obs_validate_folded_rejects_malformed_stacks() {
+        let path = tmp_path("bad.folded");
+        let path_s = path.to_string_lossy().to_string();
+        std::fs::write(
+            &path,
+            "exec.batch.run;NotAFrame 100\n\
+             exec.batch.run\n\
+             zzz.bogus.family 5\n\
+             exec.batch.run notanumber\n",
+        )
+        .unwrap();
+        let e = run_err(&["obs-validate", "--folded", &path_s]);
+        let CliError::ObsInvalid { report, problems } = e else {
+            panic!("expected ObsInvalid, got {e:?}");
+        };
+        assert_eq!(problems, 4, "{report}");
+        assert!(report.contains("outside the stage.subsystem.name scheme"));
+        assert!(report.contains("unknown stage family \"zzz\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn perf_record_writes_a_parseable_baseline_covering_every_stage() {
+        let path = tmp_path("perf-baseline.json");
+        let path_s = path.to_string_lossy().to_string();
+        let out =
+            run_ok(&["perf", "record", "--out", &path_s, "--iters", "1", "--warmup", "0"]);
+        assert!(out.contains("baseline written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let base = gpumech_perf::Baseline::from_json(&text).expect("baseline parses back");
+        assert_eq!(base.iters, 1);
+        for stage in gpumech_perf::STAGE_NAMES {
+            let r = base
+                .results
+                .iter()
+                .find(|r| r.name == stage)
+                .unwrap_or_else(|| panic!("stage {stage} missing from baseline"));
+            assert!(r.min_ns > 0, "{stage} recorded zero time");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn perf_obs_out_trace_validates_with_perf_family_metrics() {
+        let trace = tmp_path("perf-obs.jsonl");
+        let trace_s = trace.to_string_lossy().to_string();
+        let base = tmp_path("perf-obs-baseline.json");
+        let base_s = base.to_string_lossy().to_string();
+        run_ok(&[
+            "perf", "record", "--out", &base_s, "--iters", "1", "--warmup", "0",
+            "--obs-out", &trace_s,
+        ]);
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.contains("perf.alloc.count"), "{text}");
+        assert!(text.contains("perf.bench.min_ns"), "{text}");
+        let verdict = run_ok(&["obs-validate", &trace_s]);
+        assert!(verdict.contains("valid"), "{verdict}");
+        for p in [&trace, &base] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn perf_compare_passes_clean_and_gates_injected_slowdowns() {
+        let path = tmp_path("perf-gate.json");
+        let path_s = path.to_string_lossy().to_string();
+        run_ok(&["perf", "record", "--out", &path_s, "--iters", "2", "--warmup", "1"]);
+        // A clean re-run on the same machine stays within a generous
+        // tolerance (wide headroom keeps this robust on loaded CI hosts).
+        let out = run_ok(&[
+            "perf", "compare", "--baseline", &path_s, "--iters", "2", "--warmup", "1",
+            "--tolerance", "1000",
+        ]);
+        assert!(out.contains("# perf compare"), "{out}");
+        assert!(!out.contains("REGRESSED"), "clean compare regressed: {out}");
+        // A fault-injected 500 ms sleep in one stage must trip the gate
+        // even at that tolerance, and only that stage may regress.
+        let e = run_err(&[
+            "perf", "compare", "--baseline", &path_s, "--iters", "2", "--warmup", "1",
+            "--tolerance", "1000", "--slow", "e2e_batch=500",
+        ]);
+        let CliError::PerfRegression { report, regressions } = e else {
+            panic!("expected PerfRegression, got {e:?}");
+        };
+        assert_eq!(regressions, 1, "{report}");
+        assert!(report.contains("REGRESSED"), "{report}");
+        let regressed: Vec<&str> = report
+            .lines()
+            .filter(|l| l.contains("REGRESSED"))
+            .collect();
+        assert!(regressed.iter().all(|l| l.starts_with("e2e_batch")), "{report}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn perf_rejects_bad_actions_and_slow_specs() {
+        assert!(matches!(
+            run_err(&["perf", "tune"]),
+            CliError::BadChoice { flag: "perf", .. }
+        ));
+        assert!(matches!(run_err(&["perf"]), CliError::Args(_)));
+        for spec in ["e2e_batch", "nope=5", "trace=abc", "trace=1,nope=2"] {
+            assert!(
+                matches!(
+                    run_err(&["perf", "compare", "--slow", spec]),
+                    CliError::BadChoice { flag: "slow", .. }
+                ),
+                "slow spec {spec:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn perf_compare_without_a_baseline_is_a_plain_io_error() {
+        let e = run_err(&["perf", "compare", "--baseline", "/no/such/baseline.json"]);
+        assert!(matches!(e, CliError::Io(_)), "{e:?}");
     }
 }

@@ -20,8 +20,11 @@
 //!   `/readyz`, `/metrics`, and graceful SIGTERM drain,
 //! * `lint [kernel|all]` — static analysis of the kernel IR
 //!   (reconvergence correctness, dataflow, divergence, coalescing),
-//! * `obs-validate <path>` — check an `--obs-out` JSON-lines trace
-//!   against the exporter schema and the `stage.subsystem.name` scheme.
+//! * `perf record|compare` — the stage-level + end-to-end micro-benchmark
+//!   suite with persisted baselines and a noise-aware regression gate,
+//! * `obs-validate <path>` — check an `--obs-out` JSON-lines trace (or,
+//!   with `--folded`, a folded-stack export) against the exporter schema
+//!   and the `stage.subsystem.name` scheme.
 
 pub mod args;
 pub mod commands;
@@ -54,8 +57,13 @@ COMMANDS:
     lint [kernel|all]            statically analyze and verify kernel IR:
                                  structure, divergence, barriers, shared-memory
                                  races, bank conflicts (default: all 40)
+    perf record|compare          run the stage-level + end-to-end micro-benchmark
+                                 suite; record a baseline to
+                                 results/PERF_BASELINE.json or gate against one
+                                 (exit 4 on regression)
     obs-validate <path>          check an --obs-out JSONL trace against the
-                                 exporter schema and naming scheme
+                                 exporter schema and naming scheme; with
+                                 --folded, check a folded-stack export instead
     help                         this text
 
 COMMON FLAGS:
@@ -118,11 +126,25 @@ SERVE FLAGS:
                       per-kernel circuit breaker: after N consecutive
                       server-side failures further requests get 503
 
+PERF FLAGS:
+    --out PATH        (record) baseline destination
+                      (default results/PERF_BASELINE.json)
+    --baseline PATH   (compare) baseline to gate against (same default)
+    --iters N         timed iterations per stage, min reported (default 5)
+    --warmup N        untimed warmup iterations per stage (default 2)
+    --tolerance PCT   relative wall-time headroom before a stage counts as
+                      regressed, on top of a 2 ms absolute floor (default 40)
+    --slow STAGE=MS[,STAGE=MS...]
+                      inject a sleep into named stages (fault hook used by
+                      the perf-gate acceptance test)
+
 OBSERVABILITY FLAGS:
     --obs-out PATH    write a JSON-lines recorder trace (predict, simulate,
-                      compare, stacks, profile, intervals)
+                      compare, stacks, profile, intervals, batch, perf)
     --chrome-out PATH write a Chrome trace_event JSON (profile only); load
                       it in chrome://tracing or Perfetto
+    --folded-out PATH write flamegraph-collapsed self-time stacks (profile
+                      only); feed to flamegraph.pl, inferno, or speedscope
 
 LINT FLAGS:
     --format F        text|json (default text)
@@ -136,4 +158,5 @@ EXIT CODES:
     0  success        1  usage or pipeline error
     2  lint found error-severity findings
     3  obs-validate found schema violations
+    4  perf compare found regressions beyond the noise tolerance
 ";

@@ -2,8 +2,10 @@
 //!
 //! Exit taxonomy (documented in the README): 0 = success, 1 = usage or
 //! pipeline error, 2 = `lint` found Error-severity findings, 3 =
-//! `obs-validate` found schema violations. CI gates on the distinction:
-//! a defective *kernel* (2) is actionable differently from a broken
+//! `obs-validate` found schema violations, 4 = `perf compare` found
+//! regressions beyond the noise tolerance. CI gates on the distinction:
+//! a defective *kernel* (2), a malformed *trace* (3), and a *slower
+//! build* (4) are each actionable differently from a broken
 //! *invocation* (1).
 
 use std::process::ExitCode;
@@ -14,6 +16,8 @@ use gpumech_cli::CliError;
 const EXIT_LINT_FAILED: u8 = 2;
 /// Exit code for `obs-validate` schema failures.
 const EXIT_OBS_INVALID: u8 = 3;
+/// Exit code for `perf compare` regressions.
+const EXIT_PERF_REGRESSION: u8 = 4;
 
 fn main() -> ExitCode {
     match gpumech_cli::run(std::env::args().skip(1)) {
@@ -34,6 +38,13 @@ fn main() -> ExitCode {
             print!("{report}");
             eprintln!("error: observability trace failed validation with {problems} problem(s)");
             ExitCode::from(EXIT_OBS_INVALID)
+        }
+        // Perf regressions print the full comparison table first so the
+        // offending stage and its limits are in the CI log.
+        Err(CliError::PerfRegression { report, regressions }) => {
+            print!("{report}");
+            eprintln!("error: perf compare found {regressions} regressed stage(s)");
+            ExitCode::from(EXIT_PERF_REGRESSION)
         }
         Err(e) => {
             eprintln!("error: {e}");

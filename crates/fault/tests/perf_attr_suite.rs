@@ -1,0 +1,104 @@
+//! Performance-telemetry robustness under injected faults: the self-time
+//! attribution and the folded-stack exporter must stay internally
+//! consistent on a recorder that watched panicking, unwinding cases, and
+//! the counting allocator's scope must never leak depth through an
+//! unwind (the alloc analogue of the suite's no-leaked-spans check).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gpumech_fault::{
+    record_case, restore_panic_output, run_oracle, run_pipeline, silence_panic_output, MUTATORS,
+};
+use gpumech_isa::SimConfig;
+use gpumech_obs::Recorder;
+use gpumech_perf::{attribute, counting_enabled, to_folded, AllocScope};
+use gpumech_trace::{splitmix64, workloads};
+
+/// Serializes the tests: the recorder slot and the allocator's scope
+/// depth are both process-global.
+static SUITE_LOCK: Mutex<()> = Mutex::new(());
+
+fn suite_lock() -> std::sync::MutexGuard<'static, ()> {
+    SUITE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn attribution_stays_consistent_after_unwound_cases() {
+    let _serial = suite_lock();
+    silence_panic_output();
+    // A slice of the corpus dense enough to include panicking mutations:
+    // every mutator over a handful of workloads, pipeline and oracle.
+    let rec = Arc::new(Recorder::new());
+    let installed = gpumech_obs::install(Arc::clone(&rec));
+    for (wi, name) in ["sdk_vectoradd", "bfs_kernel1", "kmeans_invert_mapping"]
+        .iter()
+        .enumerate()
+    {
+        let w = workloads::by_name(name).expect("bundled").with_blocks(2);
+        let trace = w.trace().expect("traces cleanly");
+        for (mi, &(mname, mutate)) in MUTATORS.iter().enumerate() {
+            let seed = splitmix64((wi as u64) << 32 | mi as u64);
+            let mut t = trace.clone();
+            let mut cfg = SimConfig::table1();
+            mutate(&mut t, &mut cfg, seed);
+            record_case(mname, "pipeline", &run_pipeline(&t, &cfg));
+            record_case(mname, "oracle", &run_oracle(&t, &cfg));
+        }
+    }
+    restore_panic_output();
+    assert_eq!(rec.open_spans(), 0, "fault cases leaked open spans");
+    let snap = rec.snapshot();
+    drop(installed);
+
+    // Attribution invariants hold on the whole post-fault span forest:
+    // self time never exceeds total, and the split is exact.
+    let attrs = attribute(&snap);
+    assert!(!attrs.is_empty(), "fault cases recorded no spans to attribute");
+    for a in &attrs {
+        assert!(a.self_ns <= a.total_ns, "{}: self {} > total {}", a.name, a.self_ns, a.total_ns);
+        assert_eq!(a.child_ns, a.total_ns - a.self_ns, "{}: split is not exact", a.name);
+    }
+
+    // The folded export of the same snapshot parses line by line and only
+    // names spans the snapshot actually holds.
+    let folded = to_folded(&snap);
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("folded line has a value column");
+        assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+        for frame in stack.split(';') {
+            assert!(gpumech_obs::valid_metric_name(frame), "bad frame {frame:?}");
+            assert!(
+                snap.spans.iter().any(|s| s.name == frame),
+                "folded frame {frame:?} names no recorded span"
+            );
+        }
+    }
+}
+
+#[test]
+fn alloc_scope_unwinds_closed_like_spans_do() {
+    let _serial = suite_lock();
+    assert!(!counting_enabled(), "leftover AllocScope from another test");
+    let panicked = std::panic::catch_unwind(|| {
+        let scope = AllocScope::begin();
+        let _boxed = std::hint::black_box(Box::new([0u8; 64]));
+        let delta = scope.delta();
+        assert!(delta.allocs >= 1, "scope missed the boxed allocation");
+        panic!("injected fault under an AllocScope");
+    });
+    assert!(panicked.is_err(), "the injected panic must propagate");
+    // The scope's Drop ran during the unwind: counting is off again, and
+    // a fresh scope starts from a clean slate.
+    assert!(!counting_enabled(), "AllocScope leaked depth through an unwind");
+    let scope = AllocScope::begin();
+    let kept = std::hint::black_box(Box::new([0u8; 128]));
+    let delta = scope.delta();
+    drop(scope);
+    assert!(delta.allocs >= 1 && delta.bytes >= 128, "post-unwind scope undercounts: {delta:?}");
+    assert!(delta.peak_live_bytes >= 128, "peak-live did not reset for the outermost scope");
+    drop(kept);
+    assert!(!counting_enabled());
+}

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::recorder::{Snapshot, SpanRecord, HISTOGRAM_BUCKETS};
+use crate::recorder::{histogram_bucket_bound, Snapshot, SpanRecord};
 use crate::AttrValue;
 
 /// Escapes `s` as the body of a JSON string literal.
@@ -135,18 +135,29 @@ pub fn to_jsonl(snap: &Snapshot) -> String {
         );
     }
     for (name, h) in &snap.hists {
-        let buckets: Vec<String> = HISTOGRAM_BUCKETS
+        // Only populated buckets are exported: the log-bucket array is
+        // wide (HISTOGRAM_NUM_BUCKETS entries) and almost entirely zero.
+        let buckets: Vec<String> = h
+            .buckets
             .iter()
-            .zip(&h.buckets)
-            .map(|(le, n)| format!("[{},{n}]", json_num(*le)))
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("[{},{n}]", json_num(histogram_bucket_bound(i))))
             .collect();
+        let q = |p: f64| json_num(h.quantile(p).unwrap_or(f64::NAN));
         let _ = writeln!(
             out,
             "{{\"type\":\"aggregate\",\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\
-             \"sum\":{},\"buckets\":[{}]}}",
+             \"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+             \"buckets\":[{}]}}",
             esc(name),
             h.count,
             json_num(h.sum),
+            json_num(h.min),
+            json_num(h.max),
+            q(0.50),
+            q(0.90),
+            q(0.99),
             buckets.join(","),
         );
     }
@@ -275,25 +286,19 @@ pub fn render_tree(snap: &Snapshot) -> String {
         }
     }
     if !snap.hists.is_empty() {
-        out.push_str("\nhistograms (count, mean, by power-of-two bucket):\n");
+        out.push_str("\nhistograms (count, mean, quantiles from log buckets):\n");
         for (name, h) in &snap.hists {
-            let mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
-            let _ = writeln!(out, "  {name:<44} n={} mean={}", h.count, json_num(mean));
-            let populated: Vec<String> = HISTOGRAM_BUCKETS
-                .iter()
-                .zip(&h.buckets)
-                .filter(|(_, n)| **n > 0)
-                .map(|(le, n)| {
-                    if le.is_finite() {
-                        format!("<={le}: {n}")
-                    } else {
-                        format!(">1024: {n}")
-                    }
-                })
-                .collect();
-            if !populated.is_empty() {
-                let _ = writeln!(out, "    {}", populated.join("  "));
-            }
+            let fmt_q = |v: Option<f64>| v.map_or_else(|| "-".to_string(), json_num);
+            let _ = writeln!(
+                out,
+                "  {name:<44} n={} mean={} p50={} p90={} p99={} max={}",
+                h.count,
+                fmt_q(h.mean()),
+                fmt_q(h.quantile(0.50)),
+                fmt_q(h.quantile(0.90)),
+                fmt_q(h.quantile(0.99)),
+                fmt_q(h.max.is_finite().then_some(h.max)),
+            );
         }
     }
     if snap.dropped_samples > 0 {

@@ -17,7 +17,8 @@
 //!   [`Clock`] that tests can replace with a deterministic fake.
 //! * **Metrics** — [`counter!`], [`gauge!`], and [`histogram!`] samples,
 //!   recorded both as a timestamped series and as running aggregates
-//!   (totals, min/max/last, fixed power-of-two buckets).
+//!   (totals, min/max/last, log-bucketed quantile histograms with
+//!   p50/p90/p99 extraction via [`HistogramAgg::quantile`]).
 //! * **Reports** — [`PipelineReport`], the per-stage wall-time + counter
 //!   digest carried on every `Prediction` so harnesses can persist it.
 //!
@@ -55,8 +56,9 @@ pub use clock::{Clock, FakeClock, RealClock};
 pub use export::{render_tree, to_chrome_trace, to_jsonl};
 pub use naming::valid_metric_name;
 pub use recorder::{
-    CounterAgg, GaugeAgg, HistogramAgg, MetricKind, MetricSample, Recorder, Snapshot, SpanRecord,
-    HISTOGRAM_BUCKETS, MAX_SAMPLES,
+    histogram_bucket_bound, CounterAgg, GaugeAgg, HistogramAgg, MetricKind, MetricSample, Recorder,
+    Snapshot, SpanRecord, HISTOGRAM_NUM_BUCKETS, HISTOGRAM_OCTAVES, HISTOGRAM_SUB_BUCKETS,
+    MAX_SAMPLES,
 };
 pub use report::{PipelineReport, StageReport};
 pub use span::SpanGuard;
@@ -236,7 +238,7 @@ macro_rules! gauge {
     };
 }
 
-/// Records a histogram observation into fixed power-of-two buckets.
+/// Records a histogram observation into log-spaced quantile buckets.
 #[macro_export]
 macro_rules! histogram {
     ($name:literal, $value:expr) => {

@@ -13,22 +13,52 @@ use crate::AttrValue;
 /// unbounded memory growth. Aggregates keep updating past the cap.
 pub const MAX_SAMPLES: usize = 1 << 20;
 
-/// Upper bounds of the fixed histogram buckets (`value <= bound`); the
-/// last bucket is the `+inf` overflow.
-pub const HISTOGRAM_BUCKETS: [f64; 12] = [
-    1.0,
-    2.0,
-    4.0,
-    8.0,
-    16.0,
-    32.0,
-    64.0,
-    128.0,
-    256.0,
-    512.0,
-    1024.0,
-    f64::INFINITY,
-];
+/// Log-bucket resolution: sub-buckets per power-of-two octave. Four
+/// sub-buckets bound the relative quantile error at 25% of the bucket
+/// bound, tight enough for p50/p90/p99 reporting without storing samples.
+pub const HISTOGRAM_SUB_BUCKETS: usize = 4;
+
+/// Octaves covered by the finite buckets: `(1, 2^40]`. 2^40 ns is ~18
+/// minutes, 2^40 bytes is 1 TiB — comfortably past every series this
+/// workspace records.
+pub const HISTOGRAM_OCTAVES: usize = 40;
+
+/// Total bucket count: one underflow bucket (`value <= 1`),
+/// [`HISTOGRAM_OCTAVES`] x [`HISTOGRAM_SUB_BUCKETS`] log buckets, and one
+/// saturating `+inf` overflow bucket that also absorbs non-finite
+/// observations.
+pub const HISTOGRAM_NUM_BUCKETS: usize = 2 + HISTOGRAM_OCTAVES * HISTOGRAM_SUB_BUCKETS;
+
+/// Inclusive upper bound of log bucket `i` (`value <= bound`). Bucket 0
+/// is the `<= 1` underflow; the last bucket is the `+inf` overflow; in
+/// between, octave `o` sub-bucket `s` has bound `2^o * (1 + (s+1)/4)`.
+#[must_use]
+pub fn histogram_bucket_bound(i: usize) -> f64 {
+    if i == 0 {
+        1.0
+    } else if i >= HISTOGRAM_NUM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        let octave = (i - 1) / HISTOGRAM_SUB_BUCKETS;
+        let sub = (i - 1) % HISTOGRAM_SUB_BUCKETS;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        let base = f64::powi(2.0, octave as i32);
+        base * (1.0 + (sub as f64 + 1.0) / HISTOGRAM_SUB_BUCKETS as f64)
+    }
+}
+
+/// All bucket bounds in order, computed once. The bounds are strictly
+/// increasing, so [`HistogramAgg::observe`] can binary-search them.
+fn histogram_bounds() -> &'static [f64; HISTOGRAM_NUM_BUCKETS] {
+    static BOUNDS: std::sync::OnceLock<[f64; HISTOGRAM_NUM_BUCKETS]> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b = [0.0; HISTOGRAM_NUM_BUCKETS];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = histogram_bucket_bound(i);
+        }
+        b
+    })
+}
 
 /// One recorded span: a named wall-clock region with optional parent and
 /// attributes. `end_ns` is `None` while the span is open.
@@ -118,26 +148,105 @@ pub struct GaugeAgg {
     pub count: u64,
 }
 
-/// Running fixed-bucket aggregate of one histogram.
+/// Running log-bucketed aggregate of one histogram, with quantile
+/// extraction.
+///
+/// Observations land in [`HISTOGRAM_NUM_BUCKETS`] log-scale buckets
+/// (see [`histogram_bucket_bound`]); values past the finite range — and
+/// non-finite values — saturate into the overflow bucket. Exact `min`,
+/// `max`, and `sum` are tracked over the *finite* observations, which is
+/// what keeps single-sample and narrow distributions exact under
+/// [`HistogramAgg::quantile`]'s clamping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramAgg {
-    /// Per-bucket observation counts, aligned with [`HISTOGRAM_BUCKETS`].
-    pub buckets: [u64; HISTOGRAM_BUCKETS.len()],
-    /// Number of observations.
+    /// Per-bucket observation counts, aligned with
+    /// [`histogram_bucket_bound`]. Always [`HISTOGRAM_NUM_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+    /// Number of observations (including non-finite ones).
     pub count: u64,
-    /// Sum of observations.
+    /// Sum of the finite observations.
     pub sum: f64,
+    /// Minimum finite observation (`+inf` until one arrives).
+    pub min: f64,
+    /// Maximum finite observation (`-inf` until one arrives).
+    pub max: f64,
 }
 
 impl Default for HistogramAgg {
     fn default() -> Self {
-        Self { buckets: [0; HISTOGRAM_BUCKETS.len()], count: 0, sum: 0.0 }
+        Self {
+            buckets: vec![0; HISTOGRAM_NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl HistogramAgg {
+    /// Records one observation into the log buckets.
+    pub fn observe(&mut self, value: f64) {
+        // First bound >= value; NaN compares false everywhere and lands in
+        // the overflow bucket along with +/-inf and out-of-range values.
+        let idx = if value.is_finite() {
+            histogram_bounds().partition_point(|&b| b < value).min(HISTOGRAM_NUM_BUCKETS - 1)
+        } else {
+            HISTOGRAM_NUM_BUCKETS - 1
+        };
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Estimates quantile `q` (clamped to `[0, 1]`) from the log buckets:
+    /// the bound of the first bucket whose cumulative count reaches the
+    /// rank, clamped into the exact `[min, max]` envelope. Relative error
+    /// is bounded by the sub-bucket width (25%); single-sample and
+    /// constant series are exact thanks to the clamp.
+    ///
+    /// Returns `None` when the histogram is empty or holds no finite
+    /// observation (quantiles of nothing are meaningless, and the JSON
+    /// export renders that as `null` rather than a fake zero).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !self.max.is_finite() {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation,
+                clippy::cast_sign_loss)]
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                // The overflow bucket has no finite bound; the exact max
+                // is the best saturating statement we can make.
+                let bound = histogram_bucket_bound(i);
+                return Some(bound.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of the finite observations (`None` when there are none).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 || !self.max.is_finite() {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(self.sum / self.count as f64)
     }
 }
 
 /// Everything a recorder captured, in a stable order: spans by id,
 /// samples in emission order, aggregates sorted by name.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
     /// All spans, open and closed, in id order.
     pub spans: Vec<SpanRecord>,
@@ -309,22 +418,13 @@ impl Recorder {
         inner.push_sample(MetricSample { kind: MetricKind::Gauge, name, value, ts_ns, span });
     }
 
-    /// Records a histogram observation into the fixed buckets.
+    /// Records a histogram observation into the log buckets.
     pub fn histogram(&self, name: &'static str, value: f64) {
         let ts_ns = self.clock.now_ns();
         let span = crate::span::current_span_id();
         let mut inner = self.lock();
         inner.check_name(name);
-        let agg = inner.hists.entry(name).or_default();
-        let bucket = HISTOGRAM_BUCKETS
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(HISTOGRAM_BUCKETS.len() - 1);
-        agg.buckets[bucket] += 1;
-        agg.count += 1;
-        if value.is_finite() {
-            agg.sum += value;
-        }
+        inner.hists.entry(name).or_default().observe(value);
         inner.push_sample(MetricSample { kind: MetricKind::Histogram, name, value, ts_ns, span });
     }
 
@@ -385,18 +485,85 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_cover_the_range() {
+    fn histogram_log_buckets_cover_the_range() {
         let r = Recorder::fake(1);
         for v in [0.5, 1.0, 1.5, 100.0, 1e9] {
             r.histogram("test.agg.sizes", v);
         }
         let h = &r.snapshot().hists["test.agg.sizes"];
         assert_eq!(h.count, 5);
-        assert_eq!(h.buckets[0], 2, "0.5 and 1.0 land in the <=1 bucket");
-        assert_eq!(h.buckets[1], 1, "1.5 lands in the <=2 bucket");
-        assert_eq!(h.buckets[7], 1, "100 lands in the <=128 bucket");
-        assert_eq!(h.buckets[HISTOGRAM_BUCKETS.len() - 1], 1, "1e9 overflows to +inf");
+        assert_eq!(h.buckets[0], 2, "0.5 and 1.0 land in the <=1 underflow bucket");
+        assert_eq!(h.buckets[2], 1, "1.5 lands in the <=1.5 sub-bucket");
+        // 100 lands in the first bucket whose bound is >= 100 (112).
+        let idx_100 = (0..HISTOGRAM_NUM_BUCKETS)
+            .find(|&i| histogram_bucket_bound(i) >= 100.0)
+            .unwrap();
+        assert_eq!(h.buckets[idx_100], 1);
         assert!((h.sum - (0.5 + 1.0 + 1.5 + 100.0 + 1e9)).abs() < 1e-3);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1e9);
+    }
+
+    #[test]
+    fn histogram_bounds_are_strictly_increasing_and_tight() {
+        let mut prev = 0.0;
+        for i in 0..HISTOGRAM_NUM_BUCKETS - 1 {
+            let b = histogram_bucket_bound(i);
+            assert!(b > prev, "bound {i} ({b}) not above {prev}");
+            if i > 0 {
+                assert!(b / prev <= 1.25 + 1e-12, "bucket {i} wider than 25%: {prev}..{b}");
+            }
+            prev = b;
+        }
+        assert_eq!(histogram_bucket_bound(HISTOGRAM_NUM_BUCKETS - 1), f64::INFINITY);
+        // Exact powers of two sit on a bucket boundary (value <= bound).
+        assert_eq!(histogram_bucket_bound(HISTOGRAM_SUB_BUCKETS), 2.0);
+    }
+
+    #[test]
+    fn quantiles_empty_single_and_overflow() {
+        // Empty: no quantiles, rendered as null downstream.
+        let empty = HistogramAgg::default();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), None);
+
+        // Single sample: the min/max clamp makes every quantile exact.
+        let mut one = HistogramAgg::default();
+        one.observe(100.0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(100.0), "q={q}");
+        }
+
+        // Saturating overflow: out-of-range and non-finite observations
+        // land in the last bucket; quantiles saturate at the exact max.
+        let mut big = HistogramAgg::default();
+        big.observe(1e30);
+        big.observe(f64::INFINITY);
+        big.observe(f64::NAN);
+        assert_eq!(big.buckets[HISTOGRAM_NUM_BUCKETS - 1], 3);
+        assert_eq!(big.count, 3);
+        assert_eq!(big.quantile(0.99), Some(1e30), "overflow saturates to exact max");
+        assert_eq!(big.max, 1e30, "non-finite values must not disturb max");
+
+        // All-non-finite: counted, but no meaningful quantile.
+        let mut nan_only = HistogramAgg::default();
+        nan_only.observe(f64::NAN);
+        assert_eq!(nan_only.count, 1);
+        assert_eq!(nan_only.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error_at_25_percent() {
+        let mut h = HistogramAgg::default();
+        for i in 1..=1000u32 {
+            h.observe(f64::from(i));
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = h.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= 0.25, "q={q}: estimate {est} vs exact {exact} ({rel:.3} rel err)");
+            assert!(est >= exact, "log-bucket estimate is an upper bound");
+        }
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Self-time vs. child-time attribution over the obs span tree, and the
+//! folded-stack exporter.
+//!
+//! The obs recorder captures *inclusive* wall time per span. This module
+//! turns that into *exclusive* (self) time — the quantity a flamegraph
+//! plots — by subtracting each span's direct children from its own
+//! duration, saturating at zero (children can nominally overrun their
+//! parent by a clock quantum; unwound spans are closed by the RAII guard
+//! and attribute normally, while spans still open at snapshot time have
+//! no duration and are skipped).
+//!
+//! [`to_folded`] renders the classic flamegraph-collapsed format — one
+//! `root;child;leaf <self_ns>` line per distinct stack, sorted — which
+//! `flamegraph.pl`, speedscope, and inferno all consume directly.
+
+use std::collections::BTreeMap;
+
+use gpumech_obs::{Snapshot, SpanRecord};
+
+/// Per-name attribution aggregate: how much wall time a span name holds
+/// in total, and how much of that is its own (not delegated to children).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAttribution {
+    /// Span name (`stage.subsystem.name` scheme).
+    pub name: &'static str,
+    /// Closed spans aggregated under this name.
+    pub count: u64,
+    /// Inclusive wall time summed over those spans.
+    pub total_ns: u64,
+    /// Exclusive wall time: total minus direct children, saturating.
+    pub self_ns: u64,
+    /// Time delegated to direct children (`total - self`).
+    pub child_ns: u64,
+}
+
+fn span_duration(s: &SpanRecord) -> Option<u64> {
+    s.end_ns.map(|end| end.saturating_sub(s.start_ns))
+}
+
+/// Exclusive duration of each closed span, keyed by span id: inclusive
+/// duration minus the sum of direct (closed) children, saturating at 0.
+fn self_times(spans: &[SpanRecord]) -> BTreeMap<u64, u64> {
+    let mut child_sum: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if let (Some(parent), Some(dur)) = (s.parent, span_duration(s)) {
+            *child_sum.entry(parent).or_default() += dur;
+        }
+    }
+    spans
+        .iter()
+        .filter_map(|s| {
+            let dur = span_duration(s)?;
+            let children = child_sum.get(&s.id).copied().unwrap_or(0);
+            Some((s.id, dur.saturating_sub(children)))
+        })
+        .collect()
+}
+
+/// Aggregates self/total wall time by span name, sorted by descending
+/// self time (ties broken by name for determinism).
+#[must_use]
+pub fn attribute(snap: &Snapshot) -> Vec<SpanAttribution> {
+    let selfs = self_times(&snap.spans);
+    let mut by_name: BTreeMap<&'static str, SpanAttribution> = BTreeMap::new();
+    for s in &snap.spans {
+        let Some(dur) = span_duration(s) else { continue };
+        let self_ns = selfs.get(&s.id).copied().unwrap_or(0);
+        let e = by_name.entry(s.name).or_insert(SpanAttribution {
+            name: s.name,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            child_ns: 0,
+        });
+        e.count += 1;
+        e.total_ns += dur;
+        e.self_ns += self_ns;
+        e.child_ns += dur.saturating_sub(self_ns);
+    }
+    let mut out: Vec<SpanAttribution> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    out
+}
+
+/// Renders the span tree in folded-stack (flamegraph-collapsed) format:
+/// one `name;child;leaf <self_ns>` line per distinct root-to-span path,
+/// value in nanoseconds of exclusive time, lines sorted by stack.
+///
+/// Open (unfinished) spans are skipped — their duration is unknown — but
+/// closed spans *under* them still attribute with the open ancestor on
+/// their path, so a leaked parent never hides its children's time.
+#[must_use]
+pub fn to_folded(snap: &Snapshot) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = snap.spans.iter().map(|s| (s.id, s)).collect();
+    let selfs = self_times(&snap.spans);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for s in &snap.spans {
+        let Some(&self_ns) = selfs.get(&s.id) else { continue };
+        let mut names: Vec<&str> = vec![s.name];
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            let Some(p) = by_id.get(&pid) else { break };
+            names.push(p.name);
+            cursor = p.parent;
+        }
+        names.reverse();
+        *folded.entry(names.join(";")).or_default() += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in &folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use gpumech_obs::AttrValue;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: Option<u64>,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            attrs: Vec::<(&'static str, AttrValue)>::new(),
+            thread: 0,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    fn snap_of(spans: Vec<SpanRecord>) -> Snapshot {
+        Snapshot { spans, ..Snapshot::default() }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let snap = snap_of(vec![
+            span(1, None, "core.pipeline.analyze", 0, Some(1000)),
+            span(2, Some(1), "mem.cachesim.simulate", 100, Some(400)),
+            span(3, Some(1), "core.kmeans.cluster", 400, Some(700)),
+            span(4, Some(2), "mem.cachesim.flush", 200, Some(300)),
+        ]);
+        let attrs = attribute(&snap);
+        let get = |n: &str| attrs.iter().find(|a| a.name == n).unwrap();
+        assert_eq!(get("core.pipeline.analyze").total_ns, 1000);
+        assert_eq!(get("core.pipeline.analyze").self_ns, 400); // 1000 - 300 - 300
+        assert_eq!(get("core.pipeline.analyze").child_ns, 600);
+        assert_eq!(get("mem.cachesim.simulate").self_ns, 200); // 300 - 100
+        assert_eq!(get("mem.cachesim.flush").self_ns, 100);
+    }
+
+    #[test]
+    fn overrunning_children_saturate_not_underflow() {
+        // A child nominally longer than its parent (clock quantum skew)
+        // must yield self_ns == 0, never a wrapped huge number.
+        let snap = snap_of(vec![
+            span(1, None, "core.pipeline.analyze", 0, Some(100)),
+            span(2, Some(1), "mem.cachesim.simulate", 0, Some(150)),
+        ]);
+        let attrs = attribute(&snap);
+        let parent = attrs.iter().find(|a| a.name == "core.pipeline.analyze").unwrap();
+        assert_eq!(parent.self_ns, 0);
+        assert!(parent.self_ns <= parent.total_ns);
+    }
+
+    #[test]
+    fn open_spans_are_skipped_but_children_keep_their_path() {
+        let snap = snap_of(vec![
+            span(1, None, "exec.batch.run", 0, None), // still open at snapshot
+            span(2, Some(1), "core.pipeline.analyze", 10, Some(110)),
+        ]);
+        let attrs = attribute(&snap);
+        assert!(attrs.iter().all(|a| a.name != "exec.batch.run"), "open span must not attribute");
+        let folded = to_folded(&snap);
+        assert_eq!(folded, "exec.batch.run;core.pipeline.analyze 100\n");
+    }
+
+    #[test]
+    fn folded_merges_identical_stacks_and_sorts() {
+        let snap = snap_of(vec![
+            span(1, None, "exec.batch.run", 0, Some(500)),
+            span(2, Some(1), "core.pipeline.analyze", 0, Some(100)),
+            span(3, Some(1), "core.pipeline.analyze", 100, Some(350)),
+        ]);
+        let folded = to_folded(&snap);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "exec.batch.run 150", // 500 - 100 - 250
+                "exec.batch.run;core.pipeline.analyze 350",
+            ]
+        );
+    }
+
+    #[test]
+    fn attribution_orders_by_descending_self_time() {
+        let snap = snap_of(vec![
+            span(1, None, "core.pipeline.analyze", 0, Some(10)),
+            span(2, None, "mem.cachesim.simulate", 0, Some(900)),
+        ]);
+        let attrs = attribute(&snap);
+        assert_eq!(attrs[0].name, "mem.cachesim.simulate");
+        assert_eq!(attrs[1].name, "core.pipeline.analyze");
+    }
+}

@@ -1,0 +1,312 @@
+//! Baseline persistence and noise-aware comparison for the perf suite.
+//!
+//! `gpumech perf record` serializes a [`Baseline`] (suite results plus
+//! the git commit and machine-config fingerprint they were measured at)
+//! to `results/PERF_BASELINE.json`; `gpumech perf compare` re-runs the
+//! suite and fails on any regression beyond [`Tolerance`]. The tolerance
+//! is disclosed in every comparison line: a stage regresses only when its
+//! min-of-N time exceeds `base * (1 + rel) + abs_ns`, and its allocation
+//! count exceeds `base * (1 + alloc_rel) + alloc_abs` — the relative term
+//! absorbs CI-machine scaling, the absolute floor absorbs scheduler
+//! jitter on microsecond-scale stages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::suite::BenchResult;
+use crate::PerfError;
+
+/// Serialized baseline format version.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// A recorded suite run: results plus provenance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Baseline {
+    /// Format version ([`BASELINE_VERSION`]).
+    pub version: u32,
+    /// `git rev-parse --short HEAD` at record time (or `"unknown"`).
+    pub git_commit: String,
+    /// Fingerprint of the machine configuration the suite ran against
+    /// (`gpumech_exec::analysis_config_fingerprint` of Table I).
+    pub config_fingerprint: u64,
+    /// Timed iterations per stage at record time.
+    pub iters: u32,
+    /// Warmup iterations per stage at record time.
+    pub warmup: u32,
+    /// Per-stage measurements.
+    pub results: Vec<BenchResult>,
+}
+
+impl Baseline {
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures as [`PerfError::Format`].
+    pub fn to_json(&self) -> Result<String, PerfError> {
+        serde_json::to_string_pretty(self).map_err(|e| PerfError::Format(e.to_string()))
+    }
+
+    /// Parses a serialized baseline, rejecting unknown versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::Format`] on malformed JSON or a version this
+    /// build does not understand.
+    pub fn from_json(text: &str) -> Result<Self, PerfError> {
+        let b: Baseline =
+            serde_json::from_str(text).map_err(|e| PerfError::Format(e.to_string()))?;
+        if b.version != BASELINE_VERSION {
+            return Err(PerfError::Format(format!(
+                "baseline version {} unsupported (this build reads {BASELINE_VERSION})",
+                b.version
+            )));
+        }
+        Ok(b)
+    }
+}
+
+/// Noise tolerance for [`compare`]. The defaults are the documented CI
+/// gate: 40% relative + 2 ms absolute on wall time, 10% relative + 256
+/// calls absolute on allocation count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative wall-time headroom (0.40 = +40%).
+    pub rel: f64,
+    /// Absolute wall-time floor, nanoseconds.
+    pub abs_ns: u64,
+    /// Relative allocation-count headroom.
+    pub alloc_rel: f64,
+    /// Absolute allocation-count floor.
+    pub alloc_abs: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self { rel: 0.40, abs_ns: 2_000_000, alloc_rel: 0.10, alloc_abs: 256 }
+    }
+}
+
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn threshold(base: u64, rel: f64, abs: u64) -> u64 {
+    let scaled = (base as f64 * (1.0 + rel)).ceil();
+    let scaled = if scaled.is_finite() && scaled >= 0.0 { scaled as u64 } else { u64::MAX };
+    scaled.saturating_add(abs)
+}
+
+/// One stage's comparison verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareLine {
+    /// Stage name.
+    pub name: String,
+    /// Baseline min wall time, ns.
+    pub base_ns: u64,
+    /// Current min wall time, ns.
+    pub cur_ns: u64,
+    /// Wall-time threshold the stage had to stay under, ns.
+    pub limit_ns: u64,
+    /// Baseline allocation count.
+    pub base_allocs: u64,
+    /// Current allocation count.
+    pub cur_allocs: u64,
+    /// Allocation-count threshold.
+    pub limit_allocs: u64,
+    /// Whether the stage regressed on either axis.
+    pub regressed: bool,
+}
+
+/// Full comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-stage verdicts, baseline order.
+    pub lines: Vec<CompareLine>,
+    /// Stages in the baseline but missing from the current run.
+    pub missing: Vec<String>,
+    /// Stages in the current run but absent from the baseline (reported,
+    /// never failed on — new benchmarks must be recordable first).
+    pub unbaselined: Vec<String>,
+    /// The tolerance applied.
+    pub tolerance: Tolerance,
+}
+
+impl Comparison {
+    /// Number of regressed stages plus baseline stages that vanished.
+    #[must_use]
+    pub fn regressions(&self) -> usize {
+        self.lines.iter().filter(|l| l.regressed).count() + self.missing.len()
+    }
+
+    /// Human-readable report, one line per stage, tolerance disclosed.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# perf compare (tolerance: +{:.0}% +{:.1}ms wall, +{:.0}% +{} allocs)\n\
+             {:<12}{:>12}{:>12}{:>12}{:>10}{:>10}  verdict\n",
+            self.tolerance.rel * 100.0,
+            self.tolerance.abs_ns as f64 / 1e6,
+            self.tolerance.alloc_rel * 100.0,
+            self.tolerance.alloc_abs,
+            "stage",
+            "base",
+            "current",
+            "limit",
+            "allocs",
+            "limit",
+        );
+        for l in &self.lines {
+            out.push_str(&format!(
+                "{:<12}{:>12}{:>12}{:>12}{:>10}{:>10}  {}\n",
+                l.name,
+                format_ns(l.base_ns),
+                format_ns(l.cur_ns),
+                format_ns(l.limit_ns),
+                l.cur_allocs,
+                l.limit_allocs,
+                if l.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name:<12}  REGRESSED: missing from current run\n"));
+        }
+        for name in &self.unbaselined {
+            out.push_str(&format!("{name:<12}  note: not in baseline (re-record to gate it)\n"));
+        }
+        out
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}us", v / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Compares a fresh suite run against a recorded baseline.
+#[must_use]
+pub fn compare(base: &Baseline, current: &[BenchResult], tol: Tolerance) -> Comparison {
+    let mut lines = Vec::with_capacity(base.results.len());
+    let mut missing = Vec::new();
+    for b in &base.results {
+        let Some(c) = current.iter().find(|r| r.name == b.name) else {
+            missing.push(b.name.clone());
+            continue;
+        };
+        let limit_ns = threshold(b.min_ns, tol.rel, tol.abs_ns);
+        let limit_allocs = threshold(b.allocs, tol.alloc_rel, tol.alloc_abs);
+        lines.push(CompareLine {
+            name: b.name.clone(),
+            base_ns: b.min_ns,
+            cur_ns: c.min_ns,
+            limit_ns,
+            base_allocs: b.allocs,
+            cur_allocs: c.allocs,
+            limit_allocs,
+            regressed: c.min_ns > limit_ns || c.allocs > limit_allocs,
+        });
+    }
+    let unbaselined = current
+        .iter()
+        .filter(|c| base.results.iter().all(|b| b.name != c.name))
+        .map(|c| c.name.clone())
+        .collect();
+    Comparison { lines, missing, unbaselined, tolerance: tol }
+}
+
+/// `git rev-parse --short=12 HEAD` of the working directory, `"unknown"`
+/// when git is unavailable (builds from a tarball, stripped containers).
+#[must_use]
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, min_ns: u64, allocs: u64) -> BenchResult {
+        BenchResult {
+            name: name.to_string(),
+            min_ns,
+            mean_ns: min_ns,
+            iters: 5,
+            allocs,
+            alloc_bytes: allocs * 64,
+            peak_live_bytes: allocs * 32,
+        }
+    }
+
+    fn baseline(results: Vec<BenchResult>) -> Baseline {
+        Baseline {
+            version: BASELINE_VERSION,
+            git_commit: "abc123def456".to_string(),
+            config_fingerprint: 42,
+            iters: 5,
+            warmup: 2,
+            results,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = baseline(vec![result("trace", 1_000_000, 500)]);
+        let parsed = Baseline::from_json(&b.to_json().unwrap()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut b = baseline(vec![]);
+        b.version = 99;
+        let err = Baseline::from_json(&b.to_json().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let base = baseline(vec![result("trace", 10_000_000, 1000)]);
+        let tol = Tolerance { rel: 0.40, abs_ns: 2_000_000, alloc_rel: 0.10, alloc_abs: 256 };
+        // limit = 10ms * 1.4 + 2ms = 16ms
+        let ok = compare(&base, &[result("trace", 15_999_999, 1000)], tol);
+        assert_eq!(ok.regressions(), 0, "{}", ok.render());
+        let slow = compare(&base, &[result("trace", 16_000_002, 1000)], tol);
+        assert_eq!(slow.regressions(), 1, "{}", slow.render());
+        // alloc limit = 1000 * 1.1 + 256 = 1356
+        let leaky = compare(&base, &[result("trace", 10_000_000, 1400)], tol);
+        assert_eq!(leaky.regressions(), 1, "{}", leaky.render());
+    }
+
+    #[test]
+    fn missing_stage_counts_as_regression_unbaselined_does_not() {
+        let base = baseline(vec![result("trace", 1_000, 10)]);
+        let cmp = compare(&base, &[result("analyze", 1_000, 10)], Tolerance::default());
+        assert_eq!(cmp.missing, vec!["trace".to_string()]);
+        assert_eq!(cmp.unbaselined, vec!["analyze".to_string()]);
+        assert_eq!(cmp.regressions(), 1);
+        assert!(cmp.render().contains("missing from current run"));
+    }
+
+    #[test]
+    fn render_discloses_the_tolerance() {
+        let base = baseline(vec![result("trace", 1_000_000, 10)]);
+        let cmp = compare(&base, &[result("trace", 1_000_000, 10)], Tolerance::default());
+        let text = cmp.render();
+        assert!(text.contains("+40% +2.0ms wall"), "{text}");
+        assert!(text.contains("+10% +256 allocs"), "{text}");
+    }
+}

@@ -1050,39 +1050,14 @@ fn metrics_response(state: &State) -> Response {
         for (name, agg) in &snap.hists {
             out.push_str(&format!("{name}_count {}\n{name}_sum {}\n", agg.count, agg.sum));
             out.push_str(&format!(
-                "{name}_p50 {}\n{name}_p99 {}\n",
-                bucket_quantile(&agg.buckets, agg.count, 0.50),
-                bucket_quantile(&agg.buckets, agg.count, 0.99),
+                "{name}_p50 {}\n{name}_p90 {}\n{name}_p99 {}\n",
+                agg.quantile(0.50).unwrap_or(0.0),
+                agg.quantile(0.90).unwrap_or(0.0),
+                agg.quantile(0.99).unwrap_or(0.0),
             ));
         }
     }
     Response::text(200, out)
-}
-
-/// Upper-bound estimate of quantile `q` from the fixed power-of-two
-/// buckets: the bound of the first bucket whose cumulative count reaches
-/// the rank (the overflow bucket reports the largest finite bound).
-fn bucket_quantile(buckets: &[u64], count: u64, q: f64) -> f64 {
-    if count == 0 {
-        return 0.0;
-    }
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-    let rank = ((count as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, &n) in buckets.iter().enumerate() {
-        seen += n;
-        if seen >= rank {
-            let bound = gpumech_obs::HISTOGRAM_BUCKETS.get(i).copied().unwrap_or(f64::INFINITY);
-            if bound.is_finite() {
-                return bound;
-            }
-            // Overflow bucket: the largest finite bound is the best
-            // statement the fixed buckets can make.
-            let finite_max = gpumech_obs::HISTOGRAM_BUCKETS.len().saturating_sub(2);
-            return gpumech_obs::HISTOGRAM_BUCKETS.get(finite_max).copied().unwrap_or(0.0);
-        }
-    }
-    0.0
 }
 
 #[cfg(test)]
@@ -1107,15 +1082,15 @@ mod tests {
     }
 
     #[test]
-    fn bucket_quantile_walks_the_cumulative_counts() {
-        let mut buckets = [0u64; 12];
-        buckets[2] = 50; // values <= 4
-        buckets[6] = 50; // values <= 64
-        assert_eq!(bucket_quantile(&buckets, 100, 0.50), 4.0);
-        assert_eq!(bucket_quantile(&buckets, 100, 0.99), 64.0);
-        assert_eq!(bucket_quantile(&buckets, 0, 0.99), 0.0);
-        let mut overflow = [0u64; 12];
-        overflow[11] = 10;
-        assert_eq!(bucket_quantile(&overflow, 10, 0.5), 1024.0);
+    fn metrics_quantiles_come_from_histogram_agg() {
+        let mut agg = gpumech_obs::HistogramAgg::default();
+        for v in [2.0, 2.0, 60.0, 60.0] {
+            agg.observe(v);
+        }
+        let p50 = agg.quantile(0.50).unwrap();
+        let p99 = agg.quantile(0.99).unwrap();
+        assert!((2.0..=2.5).contains(&p50), "p50={p50}");
+        assert!((48.0..=60.0).contains(&p99), "p99={p99}");
+        assert!(gpumech_obs::HistogramAgg::default().quantile(0.99).is_none());
     }
 }

@@ -10,7 +10,10 @@
 //! - [`obs`] — zero-dependency tracing, metrics, and pipeline profiling;
 //! - [`timing`] — the cycle-level validation oracle (MacSim substitute);
 //! - [`core`] — the interval-analysis performance model itself;
-//! - [`exec`] — the parallel batch-prediction engine and profile cache.
+//! - [`exec`] — the parallel batch-prediction engine and profile cache;
+//! - [`perf`] — continuous performance telemetry: self-time attribution
+//!   and folded-stack export over the span tree, the counting global
+//!   allocator, and the `gpumech perf` benchmark suite with baselines.
 //!
 //! The supported entry points are also re-exported at the crate root, so
 //! most programs only need `use gpumech::{Gpumech, PredictionRequest, ...}`:
@@ -36,6 +39,7 @@ pub use gpumech_exec as exec;
 pub use gpumech_isa as isa;
 pub use gpumech_mem as mem;
 pub use gpumech_obs as obs;
+pub use gpumech_perf as perf;
 pub use gpumech_timing as timing;
 pub use gpumech_trace as trace;
 
