@@ -45,6 +45,15 @@
 #      noise tolerance (+40% +2 ms wall, +10% +256 allocs, min-of-N),
 #      proof that a fault-injected 300 ms slowdown exits 4, and the
 #      folded-stack exporter round-tripped through obs-validate --folded
+#  14. sharded sweeps: the partition property suite, the shard-merge
+#      corruption fan (every mutation a typed finding, never a panic),
+#      the deterministic fake-shard supervisor chaos suite, the
+#      exit-code taxonomy test, and a real 3-shard supervised sweep with
+#      one shard SIGKILLed mid-run — the auto-merged output must be
+#      byte-identical (from jobs_checksum on) to the unsharded reference
+#      run, a deliberately corrupted shard file must fail `merge` with
+#      exit 5 and a typed finding, and the supervised run's --obs-out
+#      trace (shard.* metrics) must pass obs-validate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -143,5 +152,48 @@ rc=0
 ./target/release/gpumech profile sdk_vectoradd --blocks 4 \
   --folded-out target/obs-ci.folded > /dev/null
 ./target/release/gpumech obs-validate --folded target/obs-ci.folded
+
+echo "== sharded sweeps =="
+cargo test -p gpumech-shard --release -q
+cargo test -p gpumech-fault --release --test merge_suite -q
+cargo test -p gpumech-fault --release --test supervisor_chaos -q
+cargo test -p gpumech-cli --release --test exit_codes -q
+cargo test -p gpumech-cli --release --test shard_supervise -q
+# A real supervised sweep: 3 shards over a 24-job sweep, shard 0
+# SIGKILLed after its first journal line, journal-replay recovery, and
+# an auto-merge gated on byte-identity with the unsharded reference.
+rm -rf target/ci-shard-sweep target/ci-shard-{ref,merged}.json
+./target/release/gpumech batch sdk_vectoradd bfs_kernel1 \
+  kmeans_invert_mapping cfd_step_factor hotspot_calculate_temp \
+  srad_kernel1 --blocks 4 --sweep warps=8,16,32,64 \
+  --json target/ci-shard-ref.json > /dev/null
+./target/release/gpumech supervise sdk_vectoradd bfs_kernel1 \
+  kmeans_invert_mapping cfd_step_factor hotspot_calculate_temp \
+  srad_kernel1 --blocks 4 --sweep warps=8,16,32,64 \
+  --shards 3 --dir target/ci-shard-sweep --chaos-kill 0@1 \
+  --out target/ci-shard-merged.json --report target/ci-shard-report.md \
+  --expect target/ci-shard-ref.json \
+  --obs-out target/obs-shard-ci.jsonl > /dev/null
+cmp <(sed -n '/"jobs_checksum"/,$p' target/ci-shard-merged.json) \
+    <(sed -n '/"jobs_checksum"/,$p' target/ci-shard-ref.json) \
+  || { echo "sharded sweep is not byte-identical to the reference"; exit 1; }
+./target/release/gpumech obs-validate target/obs-shard-ci.jsonl
+grep -q 'shard.supervisor.spawned' target/obs-shard-ci.jsonl \
+  || { echo "supervise trace missing shard.* metrics"; exit 1; }
+# A corrupted shard file must fail the merge with exit 5 and a typed
+# finding — never a silent partial merge.
+sed -i 's/"cpi":[0-9]/"cpi":9/' target/ci-shard-sweep/shard-1.json
+rc=0
+./target/release/gpumech merge target/ci-shard-sweep/shard-*.json \
+  > target/ci-shard-merge.log 2>&1 || rc=$?
+[ "$rc" -eq 5 ] \
+  || { echo "corrupt shard merge exited $rc, want 5"; exit 1; }
+grep -q 'corrupt-shard-file' target/ci-shard-merge.log \
+  || { echo "merge failure lacks the typed finding"; exit 1; }
+# The sharded-vs-unsharded harness: chaos kill, recovery, verified merge,
+# and the provenance-stamped report.
+cargo run --release -p gpumech-bench --bin bench_shard -- --quick \
+  --shard-bin target/release/gpumech --json target/bench-shard-ci.json
+rm -rf target/ci-shard-sweep
 
 echo "CI OK"

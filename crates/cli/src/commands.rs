@@ -2,6 +2,7 @@
 //! print, so tests assert on output without process spawning.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use gpumech_analyze::{analyze, KernelAnalysis, Severity};
@@ -10,8 +11,8 @@ use gpumech_core::{
     SelectionMethod, StallCategory, Weighting,
 };
 use gpumech_exec::{
-    analysis_config_fingerprint, BatchEngine, BatchError, BatchJob, BatchOptions, ExecError,
-    ProfileCache,
+    analysis_config_fingerprint, job_fingerprints, BatchEngine, BatchError, BatchJob,
+    BatchOptions, ExecError, ProfileCache,
 };
 use gpumech_isa::{Kernel, SimConfig};
 use gpumech_obs::Recorder;
@@ -19,9 +20,14 @@ use gpumech_perf::{
     baseline::BASELINE_VERSION, run_suite, suite_config, Baseline, SuiteOptions, Tolerance,
     STAGE_NAMES,
 };
+use gpumech_shard::{
+    merge_files, rejected_fingerprint, supervise, verify_expectation, ChaosKill, CounterEntry,
+    FindingKind, JobRow, MergeFinding, MergeOptions, MergeOutcome, ShardSpec, SupervisorConfig,
+    SweepManifest, SweepReport,
+};
 use gpumech_timing::simulate;
 use gpumech_trace::{workloads, TraceError, Workload};
-use serde::{Serialize, Value};
+use serde::Value;
 
 use crate::args::{ArgError, Args};
 use crate::USAGE;
@@ -78,6 +84,17 @@ pub enum CliError {
         /// Number of regressed stages.
         regressions: usize,
     },
+    /// `merge` (or the auto-merge after `supervise`) found typed merge
+    /// findings — corrupt shard files, cross-sweep mixes, coverage gaps,
+    /// duplicate conflicts, or a byte mismatch against `--expect`. The
+    /// report carries one line per finding so `main` can print it before
+    /// exiting nonzero; no merged output is written.
+    MergeFailed {
+        /// Rendered finding list, one line each.
+        report: String,
+        /// Number of findings.
+        findings: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -104,6 +121,9 @@ impl fmt::Display for CliError {
             }
             CliError::PerfRegression { regressions, .. } => {
                 write!(f, "perf compare found {regressions} regressed stage(s)")
+            }
+            CliError::MergeFailed { findings, .. } => {
+                write!(f, "merge failed with {findings} finding(s); no merged output written")
             }
         }
     }
@@ -268,10 +288,27 @@ where
                 rest,
                 &["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection",
                   "workers", "sweep", "json", "cache-dir", "obs-out", "timeout-ms",
-                  "deadline-ms", "retries", "breaker-threshold", "journal"],
-                &["resume"],
+                  "deadline-ms", "retries", "breaker-threshold", "journal", "shard"],
+                &["resume", "oracle"],
             )?;
             cmd_batch(&args)
+        }
+        "merge" => {
+            let args =
+                Args::parse(rest, &["out", "report", "expect", "journals", "obs-out"])?;
+            with_obs(&args, || cmd_merge(&args))
+        }
+        "supervise" => {
+            let args = Args::parse_with_switches(
+                rest,
+                &["shards", "dir", "shard-bin", "restart-budget", "heartbeat-ms", "poll-ms",
+                  "deadline-ms", "drain-ms", "chaos-kill", "blocks", "warps", "mshrs", "bw",
+                  "sfu", "policy", "model", "selection", "workers", "sweep", "cache-dir",
+                  "timeout-ms", "retries", "breaker-threshold", "out", "report", "expect",
+                  "obs-out"],
+                &["oracle"],
+            )?;
+            with_obs(&args, || cmd_supervise(&args))
         }
         "perf" => {
             let args = Args::parse(
@@ -538,32 +575,14 @@ fn sweep_configs(args: &Args, base: &SimConfig) -> Result<Vec<(String, SimConfig
     Ok(out)
 }
 
-/// One row of the `--json` batch report.
-#[derive(Serialize)]
-struct BatchRow {
-    /// Job label (`kernel[ @ axis=value]`).
-    label: String,
-    /// Predicted CPI, absent when the job failed.
-    cpi: Option<f64>,
-    /// Predicted IPC, absent when the job failed.
-    ipc: Option<f64>,
-    /// The job's error — includes the kernel name and config fingerprint
-    /// — absent when it succeeded.
-    error: Option<String>,
-    /// Non-fatal warnings (degraded numerics, cache quarantines or disk
-    /// errors); empty when the run was clean.
-    warnings: Vec<String>,
-}
-
-/// Machine-readable batch report written by `--json`.
-#[derive(Serialize)]
-struct BatchReport {
-    /// Worker threads the pool ran with.
-    workers: usize,
-    /// Distinct (trace, cache-relevant config) analyses after the batch.
-    cache_entries: usize,
-    /// One row per job, in job order.
-    jobs: Vec<BatchRow>,
+/// One entry of the unified sweep enumeration: a runnable job, or a
+/// kernel rejected by static verification (one typed failure row per
+/// sweep point — every shard enumerates it identically).
+enum SweepEntry {
+    /// A job that will run (if this shard owns it).
+    Run(BatchJob),
+    /// A rejected kernel's placeholder for one sweep point.
+    Rejected(BatchError),
 }
 
 fn cmd_batch(args: &Args) -> Result<String, CliError> {
@@ -573,6 +592,15 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let (sel, weighting) = selection_flags(args)?;
     let workers: usize = args.flag_or("workers", 4)?;
     let blocks = args.flag_opt::<usize>("blocks")?;
+    let shard: ShardSpec = match args.flag("shard") {
+        None => ShardSpec::single(),
+        Some(s) => s.parse().map_err(|_| CliError::BadChoice {
+            flag: "shard",
+            value: s.to_string(),
+            expected: "i/N with 0 <= i < N",
+        })?,
+    };
+    let oracle = args.switch("oracle");
 
     // Kernel set: explicit names, or the whole catalogue for none/"all".
     let mut names: Vec<String> = Vec::new();
@@ -591,42 +619,83 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     };
 
     let points = sweep_configs(args, &cfg)?;
-    let mut jobs = Vec::with_capacity(selected.len() * points.len());
-    // Kernels rejected by static verification are skipped (one typed
-    // failure row per sweep point) rather than aborting the whole batch.
-    let mut rejected: Vec<BatchError> = Vec::new();
+    // The unified enumeration every shard of this sweep computes
+    // identically: kernel x sweep point, in order, rejected kernels
+    // inline at their position. The manifest (and therefore shard
+    // ownership, coverage checking, and merge splice order) is derived
+    // from exactly this list.
+    let mut entries: Vec<SweepEntry> = Vec::with_capacity(selected.len() * points.len());
     for w in &selected {
         let w = match blocks {
             Some(b) => w.clone().with_blocks(b),
             None => w.clone(),
         };
-        let trace = match w.trace() {
-            Ok(t) => Arc::new(t),
+        match w.trace() {
+            Ok(t) => {
+                let trace = Arc::new(t);
+                for (suffix, cfg) in &points {
+                    let mut job = BatchJob::new(
+                        format!("{}{suffix}", w.name),
+                        Arc::clone(&trace),
+                        cfg.clone(),
+                    );
+                    job.policy = pol;
+                    job.model = kind;
+                    job.selection = sel;
+                    job.weighting = weighting;
+                    entries.push(SweepEntry::Run(job));
+                }
+            }
             Err(TraceError::RejectedByAnalysis { kernel, findings, .. }) => {
                 for (suffix, _) in &points {
-                    rejected.push(BatchError {
+                    entries.push(SweepEntry::Rejected(BatchError {
                         label: format!("{}{suffix}", w.name),
                         config_fingerprint: 0,
                         error: ExecError::RejectedByAnalysis {
                             kernel: kernel.clone(),
                             findings: findings.clone(),
                         },
-                    });
+                    }));
                 }
-                continue;
             }
             Err(e) => return Err(CliError::Model(format!("{}: {e}", w.name))),
-        };
-        for (suffix, cfg) in &points {
-            let mut job =
-                BatchJob::new(format!("{}{suffix}", w.name), Arc::clone(&trace), cfg.clone());
-            job.policy = pol;
-            job.model = kind;
-            job.selection = sel;
-            job.weighting = weighting;
-            jobs.push(job);
         }
     }
+
+    // Stable fingerprints in enumeration order: the journal key for
+    // runnable jobs, a synthetic label hash for rejected ones.
+    let runnable: Vec<BatchJob> = entries
+        .iter()
+        .filter_map(|e| match e {
+            SweepEntry::Run(j) => Some(j.clone()),
+            SweepEntry::Rejected(_) => None,
+        })
+        .collect();
+    let mut run_fps = job_fingerprints(&runnable).into_iter();
+    let entry_fps: Vec<u64> = entries
+        .iter()
+        .map(|e| match e {
+            SweepEntry::Run(_) => run_fps.next().unwrap_or(0),
+            SweepEntry::Rejected(err) => rejected_fingerprint(&err.label),
+        })
+        .collect();
+    let manifest = SweepManifest::new(
+        shard,
+        &gpumech_perf::git_commit(),
+        analysis_config_fingerprint(&cfg),
+        &entry_fps,
+    );
+
+    // This shard's slice of the sweep, in enumeration order.
+    let owned: Vec<usize> =
+        (0..entries.len()).filter(|&i| shard.owns(entry_fps[i])).collect();
+    let jobs: Vec<BatchJob> = owned
+        .iter()
+        .filter_map(|&i| match &entries[i] {
+            SweepEntry::Run(j) => Some(j.clone()),
+            SweepEntry::Rejected(_) => None,
+        })
+        .collect();
 
     let opts = BatchOptions {
         timeout_ms: args.flag_opt("timeout-ms")?,
@@ -655,84 +724,134 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
              running with {effective} worker(s)"
         );
     }
-    // Always record: the summary surfaces exec.cache / exec.resilience
-    // counters whether or not --obs-out asked for the full trace.
+    // Always record: the summary surfaces exec.cache / exec.resilience /
+    // shard.partition counters whether or not --obs-out asked for the
+    // full trace.
     let _serial = OBS_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
     let rec = Arc::new(Recorder::new());
     let t0 = std::time::Instant::now();
-    let results = {
+    let (results, oracles) = {
         let _installed = gpumech_obs::install(Arc::clone(&rec));
-        engine.run_with(&jobs, &opts)
+        gpumech_obs::counter!("shard.partition.owned", owned.len() as u64);
+        gpumech_obs::counter!("shard.partition.skipped", (entries.len() - owned.len()) as u64);
+        let results = engine.run_with(&jobs, &opts);
+        // Oracle pass (--oracle): the cycle-level simulator over each
+        // *successful* owned job, for the model-vs-oracle report table.
+        let oracles: Vec<Option<f64>> = if oracle {
+            jobs.iter()
+                .zip(&results)
+                .map(|(job, r)| {
+                    r.as_ref().ok().and_then(|_| {
+                        simulate(&job.trace, &job.cfg, job.policy).ok().map(|o| o.cpi())
+                    })
+                })
+                .collect()
+        } else {
+            vec![None; jobs.len()]
+        };
+        (results, oracles)
     };
     let dt = t0.elapsed();
     let snap = rec.snapshot();
 
     let mut out = format!(
-        "# batch: {} job(s) ({} kernel(s) x {} config(s)), workers={workers}\n\
-         {:<40}{:>10}{:>10}\n",
-        jobs.len() + rejected.len(),
+        "# batch: {} job(s) ({} kernel(s) x {} config(s)), workers={workers}\n",
+        entries.len(),
         selected.len(),
         points.len(),
-        "job",
-        "CPI",
-        "IPC"
     );
-    let mut rows = Vec::with_capacity(jobs.len() + rejected.len());
-    let mut failures = 0usize;
-    for e in &rejected {
-        failures += 1;
-        out.push_str(&format!("{:<40}  skipped: {}\n", e.label, e.error));
-        rows.push(BatchRow {
-            label: e.label.clone(),
-            cpi: None,
-            ipc: None,
-            error: Some(e.to_string()),
-            warnings: Vec::new(),
-        });
+    if !shard.is_single() {
+        out.push_str(&format!(
+            "# shard {shard}: owns {} of {} job(s)\n",
+            owned.len(),
+            entries.len()
+        ));
     }
-    for (job, r) in jobs.iter().zip(&results) {
-        match r {
-            Ok(p) => {
-                out.push_str(&format!(
-                    "{:<40}{:>10.3}{:>10.3}\n",
-                    job.label,
-                    p.cpi_total(),
-                    p.ipc()
-                ));
-                for w in &p.warnings {
-                    out.push_str(&format!("    warning: {w}\n"));
-                }
-                rows.push(BatchRow {
-                    label: job.label.clone(),
-                    cpi: Some(p.cpi_total()),
-                    ipc: Some(p.ipc()),
-                    error: None,
-                    warnings: p.warnings.clone(),
-                });
-            }
-            Err(e) => {
+    out.push_str(&format!("{:<40}{:>10}{:>10}\n", "job", "CPI", "IPC"));
+
+    // One row per *owned* enumeration entry, in enumeration order. Row
+    // bytes are independent of which shard produced them: cache-layer
+    // warnings (environment-dependent) are stripped, and everything else
+    // is deterministic — that is what makes a sharded merge byte-identical
+    // to an unsharded run.
+    let mut rows: Vec<JobRow> = Vec::with_capacity(owned.len());
+    let mut failures = 0usize;
+    let mut run_ix = 0usize;
+    for &i in &owned {
+        let fingerprint = gpumech_shard::fingerprint_hex(entry_fps[i]);
+        match &entries[i] {
+            SweepEntry::Rejected(e) => {
                 failures += 1;
-                out.push_str(&format!("{:<40}  error: {}\n", job.label, e.error));
-                rows.push(BatchRow {
-                    label: job.label.clone(),
+                out.push_str(&format!("{:<40}  skipped: {}\n", e.label, e.error));
+                rows.push(JobRow {
+                    label: e.label.clone(),
+                    fingerprint,
                     cpi: None,
                     ipc: None,
-                    // The full payload: kernel name + config fingerprint
-                    // + underlying error.
+                    stack: None,
+                    oracle_cpi: None,
                     error: Some(e.to_string()),
                     warnings: Vec::new(),
                 });
+            }
+            SweepEntry::Run(job) => {
+                let (r, oracle_cpi) = (&results[run_ix], oracles[run_ix]);
+                run_ix += 1;
+                match r {
+                    Ok(p) => {
+                        out.push_str(&format!(
+                            "{:<40}{:>10.3}{:>10.3}\n",
+                            job.label,
+                            p.cpi_total(),
+                            p.ipc()
+                        ));
+                        for w in &p.warnings {
+                            out.push_str(&format!("    warning: {w}\n"));
+                        }
+                        rows.push(JobRow {
+                            label: job.label.clone(),
+                            fingerprint,
+                            cpi: Some(p.cpi_total()),
+                            ipc: Some(p.ipc()),
+                            stack: Some(p.cpi),
+                            oracle_cpi,
+                            error: None,
+                            warnings: p
+                                .warnings
+                                .iter()
+                                .filter(|w| !w.starts_with("cache: "))
+                                .cloned()
+                                .collect(),
+                        });
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        out.push_str(&format!("{:<40}  error: {}\n", job.label, e.error));
+                        rows.push(JobRow {
+                            label: job.label.clone(),
+                            fingerprint,
+                            cpi: None,
+                            ipc: None,
+                            stack: None,
+                            oracle_cpi: None,
+                            // The full payload: kernel name + config
+                            // fingerprint + underlying error.
+                            error: Some(e.to_string()),
+                            warnings: Vec::new(),
+                        });
+                    }
+                }
             }
         }
     }
     out.push_str(&format!(
         "# {} ok, {failures} failed; {} cached analysis(es); {dt:.2?} wall\n",
-        jobs.len() + rejected.len() - failures,
+        owned.len() - failures,
         engine.cache().len(),
     ));
-    // Cache and resilience behaviour, visible without --obs-out: every
-    // exec.cache.* / exec.resilience.* counter the run incremented.
-    for family in ["exec.cache.", "exec.resilience."] {
+    // Cache, resilience, and partition behaviour, visible without
+    // --obs-out: every counter the run incremented, by family.
+    for family in ["exec.cache.", "exec.resilience.", "shard."] {
         let line: Vec<String> = snap
             .counters
             .iter()
@@ -748,17 +867,177 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         }
     }
     if let Some(path) = args.flag("json") {
-        let report =
-            BatchReport { workers, cache_entries: engine.cache().len(), jobs: rows };
-        let json =
-            serde_json::to_string_pretty(&report).map_err(|e| CliError::Model(e.to_string()))?;
-        std::fs::write(path, json)?;
+        let mut counters: Vec<CounterEntry> = snap
+            .counters
+            .iter()
+            .map(|(name, agg)| CounterEntry { name: (*name).to_string(), total: agg.total })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let report = SweepReport {
+            manifest,
+            workers: workers as u64,
+            cache_entries: engine.cache().len() as u64,
+            counters,
+            jobs_checksum: String::new(), // recomputed on render
+            jobs: rows,
+        };
+        report
+            .write(std::path::Path::new(path))
+            .map_err(CliError::Model)?;
         out.push_str(&format!("batch report written to {path}\n"));
     }
     if let Some(path) = args.flag("obs-out") {
         std::fs::write(path, gpumech_obs::to_jsonl(&snap))?;
         out.push_str(&format!("observability trace written to {path}\n"));
     }
+    Ok(out)
+}
+
+/// Finishes a merge: runs the `--expect` byte-identity check, converts
+/// findings into the exit-code-5 error, and writes `--out` / `--report`
+/// on success. Shared by `merge` and the auto-merge after `supervise`.
+fn finish_merge(args: &Args, mut outcome: MergeOutcome) -> Result<String, CliError> {
+    if let (Some(m), Some(expect)) = (&outcome.merged, args.flag("expect")) {
+        let expect_text = std::fs::read_to_string(expect)
+            .map_err(|e| CliError::Model(format!("--expect {expect}: {e}")))?;
+        let merged_text = m.render_json().map_err(CliError::Model)?;
+        match verify_expectation(&merged_text, &expect_text) {
+            None => outcome.notes.push(format!(
+                "byte-identical to the reference run {expect} (from jobs_checksum on)"
+            )),
+            Some(detail) => outcome.findings.push(MergeFinding {
+                kind: FindingKind::ExpectationMismatch,
+                path: expect.to_string(),
+                detail,
+            }),
+        }
+    }
+    if !outcome.findings.is_empty() {
+        let mut report = String::new();
+        for f in &outcome.findings {
+            report.push_str(&format!("finding: {f}\n"));
+        }
+        for q in &outcome.quarantined {
+            report.push_str(&format!("quarantined: {q}\n"));
+        }
+        return Err(CliError::MergeFailed { report, findings: outcome.findings.len() });
+    }
+    let Some(m) = outcome.merged else {
+        // Unreachable: a merge without findings always carries output.
+        return Err(CliError::Model("merge produced no output and no findings".to_string()));
+    };
+    let ok = m.rows.iter().filter(|r| r.error.is_none()).count();
+    let mut out = format!(
+        "# merge: {} shard file(s), {} row(s) ({ok} ok, {} failed), sweep {}\n",
+        outcome.files_ok,
+        m.rows.len(),
+        m.rows.len() - ok,
+        m.manifest.sweep_fingerprint,
+    );
+    for note in &outcome.notes {
+        out.push_str(&format!("# note: {note}\n"));
+    }
+    if let Some(path) = args.flag("out") {
+        m.write_json(std::path::Path::new(path)).map_err(CliError::Model)?;
+        out.push_str(&format!("merged sweep written to {path}\n"));
+    }
+    if let Some(path) = args.flag("report") {
+        std::fs::write(path, m.render_markdown())?;
+        out.push_str(&format!("sweep report written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `gpumech merge`: union shard result files into one verified sweep.
+/// Any typed finding — corrupt file, cross-sweep mix, coverage gap,
+/// duplicate conflict, journal corruption, `--expect` mismatch — aborts
+/// with exit code 5 and no merged output.
+fn cmd_merge(args: &Args) -> Result<String, CliError> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while let Some(p) = args.positional(i) {
+        paths.push(PathBuf::from(p));
+        i += 1;
+    }
+    if paths.is_empty() {
+        return Err(CliError::Args(ArgError::MissingValue(
+            "shard result file(s) to merge".to_string(),
+        )));
+    }
+    let journals: Vec<PathBuf> = args
+        .flag("journals")
+        .map(|list| list.split(',').filter(|s| !s.is_empty()).map(PathBuf::from).collect())
+        .unwrap_or_default();
+    let outcome = merge_files(&paths, &MergeOptions { quarantine: true, journals });
+    finish_merge(args, outcome)
+}
+
+/// `gpumech supervise`: run a sharded sweep under the crash-tolerant
+/// local supervisor, then auto-merge the shard results.
+fn cmd_supervise(args: &Args) -> Result<String, CliError> {
+    let shards: u32 = args.flag_or("shards", 3u32)?;
+    let dir = PathBuf::from(args.flag("dir").unwrap_or("gpumech-sweep"));
+    let program = match args.flag("shard-bin") {
+        Some(p) => PathBuf::from(p),
+        None => std::env::current_exe()
+            .map_err(|e| CliError::Model(format!("cannot locate the gpumech binary: {e}")))?,
+    };
+
+    // Shard children run `batch` with the forwarded sweep definition; the
+    // supervisor appends --shard/--journal/--json/--resume per child.
+    let mut shared = vec!["batch".to_string()];
+    let mut i = 0;
+    while let Some(p) = args.positional(i) {
+        shared.push(p.to_string());
+        i += 1;
+    }
+    for f in ["blocks", "warps", "mshrs", "bw", "sfu", "policy", "model", "selection",
+              "workers", "sweep", "cache-dir", "timeout-ms", "retries", "breaker-threshold"]
+    {
+        if let Some(v) = args.flag(f) {
+            shared.push(format!("--{f}"));
+            shared.push(v.to_string());
+        }
+    }
+    if args.switch("oracle") {
+        shared.push("--oracle".to_string());
+    }
+
+    let mut chaos_kills: Vec<ChaosKill> = Vec::new();
+    if let Some(spec) = args.flag("chaos-kill") {
+        for part in spec.split(',').filter(|s| !s.is_empty()) {
+            chaos_kills.push(part.parse().map_err(|_| CliError::BadChoice {
+                flag: "chaos-kill",
+                value: part.to_string(),
+                expected: "shard@lines[,shard@lines...]",
+            })?);
+        }
+    }
+
+    let mut cfg = SupervisorConfig::new(program, dir, shards);
+    cfg.shared_args = shared;
+    cfg.restart_budget = args.flag_or("restart-budget", 3u32)?;
+    cfg.heartbeat_ms = args.flag_or("heartbeat-ms", 30_000u64)?;
+    cfg.poll_ms = args.flag_or("poll-ms", 25u64)?;
+    cfg.deadline_ms = args.flag_opt("deadline-ms")?;
+    cfg.drain_ms = args.flag_or("drain-ms", 2_000u64)?;
+    cfg.chaos_kills = chaos_kills;
+    cfg.handle_signals = true;
+
+    let summary = supervise(&cfg).map_err(|e| CliError::Model(e.to_string()))?;
+    let mut out = summary.render();
+    if summary.drained {
+        out.push_str("# drained before completion; shard journals remain valid for --resume\n");
+        return Ok(out);
+    }
+
+    // Auto-merge the completed shards, cross-checking every journal.
+    let journals: Vec<PathBuf> = (0..shards).map(|i| cfg.journal_path(i)).collect();
+    let outcome = merge_files(
+        &summary.result_paths,
+        &MergeOptions { quarantine: true, journals },
+    );
+    out.push_str(&finish_merge(args, outcome)?);
     Ok(out)
 }
 
@@ -1089,9 +1368,9 @@ fn num_or_null(v: &Value, key: &str) -> bool {
 
 /// Stage families a conforming export may emit under — the short crate
 /// names of every instrumented layer (`test` covers unit-test fixtures).
-const STAGE_FAMILIES: [&str; 13] = [
+const STAGE_FAMILIES: [&str; 14] = [
     "isa", "analyze", "trace", "mem", "timing", "core", "exec", "serve", "cli", "bench", "fault",
-    "perf", "test",
+    "perf", "shard", "test",
 ];
 
 /// Subsystems the `perf.*` family is allowed to emit under: the suite's

@@ -14,7 +14,15 @@
 //! * `compare <kernel>` — all five Table II models vs the oracle,
 //! * `stacks <kernel>` — CPI stacks across warp counts,
 //! * `batch [kernels...|all]` — parallel batch prediction across kernels
-//!   and swept configurations, with profile caching,
+//!   and swept configurations, with profile caching (and `--shard i/N`
+//!   for one deterministic shard of the sweep, stamped with the sweep
+//!   manifest),
+//! * `merge <shards...>` — verified union of shard result files:
+//!   checksums, manifest/ownership/coverage proofs, typed findings and
+//!   exit 5 on any violation, byte-identical output on success,
+//! * `supervise` — run a whole sharded sweep locally under the
+//!   crash-tolerant supervisor (journal heartbeats, `--resume` restarts
+//!   with backoff and budget, deadline, SIGTERM drain, auto-merge),
 //! * `serve` — hardened HTTP prediction service: bounded admission queue
 //!   with load-shedding, per-request deadlines, typed errors, `/healthz`,
 //!   `/readyz`, `/metrics`, and graceful SIGTERM drain,
@@ -52,6 +60,14 @@ COMMANDS:
     intervals <kernel>           dump the representative warp's intervals (--limit N)
     batch [kernels...|all]       predict many kernels (and swept configurations)
                                  in parallel with profile caching (default: all 40)
+    merge <shards...>            verify and union shard result files into one
+                                 sweep file + markdown report; any corruption,
+                                 coverage gap, or cross-sweep mix is a typed
+                                 finding and exit 5 — never a partial merge
+    supervise [kernels...|all]   run a sharded sweep under the crash-tolerant
+                                 supervisor: N shard child processes, journal
+                                 heartbeats, crash/hang restarts with --resume,
+                                 SIGTERM drain, verified auto-merge
     serve                        run the HTTP prediction service (POST /predict,
                                  /healthz, /readyz, /metrics) until SIGTERM/ctrl-c
     lint [kernel|all]            statically analyze and verify kernel IR:
@@ -100,6 +116,51 @@ BATCH FLAGS:
                       interrupted run can be resumed
     --resume          skip jobs already present in --journal, replaying
                       their recorded predictions byte-identically
+    --shard I/N       run only shard I of an N-way deterministic split of
+                      the sweep (jobs are assigned by fingerprint hash, so
+                      the split is stable across machines and enumeration
+                      order); the --json file carries the sweep manifest
+    --oracle          also run the cycle-level oracle per job and record
+                      its CPI in the result rows (feeds the merge report's
+                      model-vs-oracle table)
+
+MERGE FLAGS (gpumech merge shard0.json shard1.json ...):
+    --out PATH        write the merged sweep file (canonical shard-file
+                      layout, byte-identical from jobs_checksum on to an
+                      unsharded run)
+    --report PATH     write the markdown sweep report (CPI stacks,
+                      model-vs-oracle error, failures, counters)
+    --expect PATH     byte-compare the merged output (from jobs_checksum
+                      on) against a reference run's --json file; any
+                      mismatch is a finding
+    --journals A,B    shard journals to cross-check: every line must be a
+                      valid journal entry belonging to this sweep
+
+SUPERVISE FLAGS (accepts all COMMON/BATCH sweep flags for its children):
+    --shards N        number of shard child processes (default 3)
+    --dir DIR         working directory for per-shard journals, results,
+                      and logs (default gpumech-sweep)
+    --shard-bin PATH  shard worker binary (default: this binary)
+    --restart-budget N  restarts allowed per shard before the sweep
+                      aborts with a typed error (default 3)
+    --heartbeat-ms N  a shard whose journal stops growing for this long
+                      is killed and restarted (default 30000)
+    --deadline-ms N   whole-sweep wall-clock bound
+    --drain-ms N      SIGTERM grace window before SIGKILL on drain
+                      (default 2000)
+    --chaos-kill S@L  SIGKILL shard S once its journal reaches L lines
+                      (fault-injection hook; comma-separate for several)
+    --out/--report/--expect  forwarded to the verified auto-merge
+
+EXIT CODES (ci.sh gates on the distinction):
+    0  success
+    1  usage or pipeline error
+    2  lint found error-severity findings
+    3  obs-validate found schema violations
+    4  perf compare found regressions beyond the noise tolerance
+    5  merge (or supervise's auto-merge) found findings: corrupt shard
+       files, coverage gaps, duplicate conflicts, cross-sweep mixes, or
+       an --expect byte mismatch
 
 SERVE FLAGS:
     --addr A          bind address (default 127.0.0.1)
@@ -153,10 +214,4 @@ LINT FLAGS:
                       regardless of this display filter
     --from-json PATH  lint kernels deserialized from a JSON file (one
                       kernel object or an array) instead of the catalogue
-
-EXIT CODES:
-    0  success        1  usage or pipeline error
-    2  lint found error-severity findings
-    3  obs-validate found schema violations
-    4  perf compare found regressions beyond the noise tolerance
 ";

@@ -3,10 +3,12 @@
 //! Exit taxonomy (documented in the README): 0 = success, 1 = usage or
 //! pipeline error, 2 = `lint` found Error-severity findings, 3 =
 //! `obs-validate` found schema violations, 4 = `perf compare` found
-//! regressions beyond the noise tolerance. CI gates on the distinction:
-//! a defective *kernel* (2), a malformed *trace* (3), and a *slower
-//! build* (4) are each actionable differently from a broken
-//! *invocation* (1).
+//! regressions beyond the noise tolerance, 5 = `merge` (or the
+//! auto-merge after `supervise`) found merge findings — corrupt shard
+//! files, coverage gaps, duplicate conflicts, or an `--expect` byte
+//! mismatch. CI gates on the distinction: a defective *kernel* (2), a
+//! malformed *trace* (3), a *slower build* (4), and an *unsafe merge*
+//! (5) are each actionable differently from a broken *invocation* (1).
 
 use std::process::ExitCode;
 
@@ -18,6 +20,8 @@ const EXIT_LINT_FAILED: u8 = 2;
 const EXIT_OBS_INVALID: u8 = 3;
 /// Exit code for `perf compare` regressions.
 const EXIT_PERF_REGRESSION: u8 = 4;
+/// Exit code for `merge` / `supervise` merge failures.
+const EXIT_MERGE_FAILED: u8 = 5;
 
 fn main() -> ExitCode {
     match gpumech_cli::run(std::env::args().skip(1)) {
@@ -45,6 +49,13 @@ fn main() -> ExitCode {
             print!("{report}");
             eprintln!("error: perf compare found {regressions} regressed stage(s)");
             ExitCode::from(EXIT_PERF_REGRESSION)
+        }
+        // Merge failures print every typed finding first: the operator
+        // needs to know *which* shard file was corrupt or missing.
+        Err(CliError::MergeFailed { report, findings }) => {
+            print!("{report}");
+            eprintln!("error: merge failed with {findings} finding(s); no merged output written");
+            ExitCode::from(EXIT_MERGE_FAILED)
         }
         Err(e) => {
             eprintln!("error: {e}");

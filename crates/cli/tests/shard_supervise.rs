@@ -1,0 +1,193 @@
+//! End-to-end sharded sweep through the real `gpumech` binary:
+//!
+//! * an unsharded `batch --json` reference run;
+//! * the same sweep split `--shard 0/2` / `--shard 1/2` and re-united
+//!   with `merge --expect` — exit 0 and byte-identical (from
+//!   `jobs_checksum` on) to the reference;
+//! * a full `supervise` run (3 shards, chaos kill armed, auto-merge with
+//!   `--expect`) — exit 0, merged output and markdown report written;
+//! * a corrupted shard file — `merge` exits 5 with a typed finding and
+//!   quarantines the file.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Small, behaviorally distinct kernels; two sweep points each so every
+/// shard owns work.
+const SWEEP_ARGS: [&str; 8] = [
+    "sdk_vectoradd",
+    "bfs_kernel1",
+    "kmeans_invert_mapping",
+    "cfd_step_factor",
+    "--blocks",
+    "2",
+    "--sweep",
+    "warps=16,32",
+];
+
+fn gpumech(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gpumech"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn workspace(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gpumech-shard-supervise-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the unsharded sweep to `ref.json` and returns its path.
+fn reference_run(dir: &Path) -> PathBuf {
+    let reference = dir.join("ref.json");
+    let mut args: Vec<&str> = vec!["batch"];
+    args.extend_from_slice(&SWEEP_ARGS);
+    args.extend_from_slice(&["--json", reference.to_str().unwrap()]);
+    let out = gpumech(&args);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    reference
+}
+
+#[test]
+fn manual_shards_merge_byte_identically_to_unsharded() {
+    let dir = workspace("manual");
+    let reference = reference_run(&dir);
+
+    let mut shard_paths = Vec::new();
+    for shard in ["0/2", "1/2"] {
+        let path = dir.join(format!("shard-{}.json", &shard[..1]));
+        let mut args: Vec<&str> = vec!["batch"];
+        args.extend_from_slice(&SWEEP_ARGS);
+        args.extend_from_slice(&["--shard", shard, "--json", path.to_str().unwrap()]);
+        let out = gpumech(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "shard {shard}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("# shard {shard}: owns")),
+            "shard banner missing: {stdout}"
+        );
+        shard_paths.push(path);
+    }
+
+    let merged = dir.join("merged.json");
+    let report = dir.join("report.md");
+    let out = gpumech(&[
+        "merge",
+        shard_paths[0].to_str().unwrap(),
+        shard_paths[1].to_str().unwrap(),
+        "--out", merged.to_str().unwrap(),
+        "--report", report.to_str().unwrap(),
+        "--expect", reference.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("byte-identical to the reference run"), "{stdout}");
+
+    // The contract the --expect note claims: merged == reference from the
+    // jobs_checksum field on.
+    let merged_text = std::fs::read_to_string(&merged).unwrap();
+    let reference_text = std::fs::read_to_string(&reference).unwrap();
+    let tail = |s: &str| s[s.find("\"jobs_checksum\"").unwrap()..].to_string();
+    assert_eq!(tail(&merged_text), tail(&reference_text));
+
+    // The markdown report renders the sweep sections.
+    let md = std::fs::read_to_string(&report).unwrap();
+    for section in ["# GPUMech sweep report", "## Per-kernel CPI stacks", "## Model vs oracle"] {
+        assert!(md.contains(section), "report missing {section:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn supervised_sweep_with_chaos_kill_matches_unsharded() {
+    let dir = workspace("supervised");
+    let reference = reference_run(&dir);
+
+    let sweep_dir = dir.join("sweep");
+    let merged = dir.join("merged.json");
+    let report = dir.join("report.md");
+    let mut args: Vec<&str> = vec!["supervise"];
+    args.extend_from_slice(&SWEEP_ARGS);
+    args.extend_from_slice(&[
+        "--shards", "3",
+        "--dir", sweep_dir.to_str().unwrap(),
+        // Arm a chaos kill; on fast hosts the shard may finish before it
+        // lands, which is also a pass — recovery determinism is pinned by
+        // the fault crate's supervisor_chaos suite.
+        "--chaos-kill", "0@1",
+        "--out", merged.to_str().unwrap(),
+        "--report", report.to_str().unwrap(),
+        "--expect", reference.to_str().unwrap(),
+    ]);
+    let out = gpumech(&args);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# supervisor: completed"), "{stdout}");
+    assert!(stdout.contains("byte-identical to the reference run"), "{stdout}");
+
+    let merged_text = std::fs::read_to_string(&merged).unwrap();
+    let reference_text = std::fs::read_to_string(&reference).unwrap();
+    let tail = |s: &str| s[s.find("\"jobs_checksum\"").unwrap()..].to_string();
+    assert_eq!(tail(&merged_text), tail(&reference_text));
+
+    // The per-shard artifacts the supervisor promises: result file and
+    // journal per shard.
+    for shard in 0..3 {
+        assert!(sweep_dir.join(format!("shard-{shard}.json")).exists());
+        assert!(sweep_dir.join(format!("shard-{shard}.journal")).exists());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_shard_fails_merge_with_exit_5() {
+    let dir = workspace("corrupt");
+    let mut shard_paths = Vec::new();
+    for shard in ["0/2", "1/2"] {
+        let path = dir.join(format!("shard-{}.json", &shard[..1]));
+        let mut args: Vec<&str> = vec!["batch"];
+        args.extend_from_slice(&SWEEP_ARGS);
+        args.extend_from_slice(&["--shard", shard, "--json", path.to_str().unwrap()]);
+        assert_eq!(gpumech(&args).status.code(), Some(0));
+        shard_paths.push(path);
+    }
+    // Flip one digit inside the rows of shard 1.
+    let text = std::fs::read_to_string(&shard_paths[1]).unwrap();
+    let jobs_at = text.find("\"jobs\": [").unwrap();
+    let digit_at = jobs_at
+        + text[jobs_at..]
+            .find(|c: char| c.is_ascii_digit())
+            .expect("rows contain digits");
+    let mut bytes = text.into_bytes();
+    bytes[digit_at] = if bytes[digit_at] == b'9' { b'8' } else { bytes[digit_at] + 1 };
+    std::fs::write(&shard_paths[1], bytes).unwrap();
+
+    let out = gpumech(&[
+        "merge",
+        shard_paths[0].to_str().unwrap(),
+        shard_paths[1].to_str().unwrap(),
+        "--out", dir.join("merged.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[corrupt-shard-file]"), "{stdout}");
+    assert!(stdout.contains("[missing-shard]"), "the corrupt shard's work is uncovered: {stdout}");
+    assert!(!dir.join("merged.json").exists(), "no merged output on failure");
+    assert!(
+        PathBuf::from(format!("{}.quarantine", shard_paths[1].display())).exists(),
+        "corrupt file quarantined"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

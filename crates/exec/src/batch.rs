@@ -374,6 +374,24 @@ pub fn job_fingerprint(trace_fp: u64, job: &BatchJob) -> u64 {
     payload_checksum(blob.as_bytes())
 }
 
+/// [`job_fingerprint`] over a whole job list, fingerprinting each distinct
+/// `Arc`d trace once (the same memoization [`BatchEngine::run_with`] uses
+/// internally). This is the enumeration-order fingerprint list sharded
+/// sweeps partition on and stamp into their manifests — computing it here
+/// guarantees the shard partitioner and the journal key agree exactly.
+#[must_use]
+pub fn job_fingerprints(jobs: &[BatchJob]) -> Vec<u64> {
+    let mut memo: HashMap<*const KernelTrace, u64> = HashMap::new();
+    jobs.iter()
+        .map(|job| {
+            let trace_fp = *memo
+                .entry(Arc::as_ptr(&job.trace))
+                .or_insert_with(|| trace_fingerprint(&job.trace));
+            job_fingerprint(trace_fp, job)
+        })
+        .collect()
+}
+
 /// Maps a pipeline interrupt to its execution-layer error.
 fn interrupt_error(why: Interrupt) -> ExecError {
     match why {

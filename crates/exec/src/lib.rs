@@ -50,7 +50,8 @@ use std::fmt;
 use gpumech_core::ModelError;
 use gpumech_obs::Interrupt;
 
-pub use batch::{analyze_parallel, canonical_prediction_json, BatchEngine, BatchJob};
+pub use batch::{analyze_parallel, canonical_prediction_json, job_fingerprint, job_fingerprints,
+                BatchEngine, BatchJob};
 pub use cache::{analysis_config_fingerprint, cache_key, trace_fingerprint, CacheKey, ProfileCache};
 pub use pool::{run_indexed, FaultInjection, FaultKind, PoolOptions};
 pub use resilience::{BatchOptions, CircuitBreaker, RetryPolicy};

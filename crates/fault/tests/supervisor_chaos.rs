@@ -1,0 +1,273 @@
+//! Supervisor chaos suite (no test harness): the binary re-execs itself
+//! as a scriptable fake shard child, so every failure mode the
+//! supervisor must survive is driven deterministically — no reliance on
+//! real workload timing:
+//!
+//! * a shard that **crashes once** is restarted with backoff and the
+//!   sweep completes;
+//! * a [`ChaosKill`] SIGKILL mid-run forces a restart and the sweep
+//!   completes;
+//! * a shard that **hangs** (journal stops growing) trips the heartbeat,
+//!   is killed, and its restart completes;
+//! * a shard that **always crashes** exhausts its restart budget with a
+//!   typed error — no infinite flapping;
+//! * a sweep that outlives its **deadline** is killed with a typed error;
+//! * a [`CancelToken`] triggers a clean **drain**: children terminated,
+//!   journals preserved for a later resume.
+//!
+//! Child behavior is selected via the `GPUMECH_FAKE_SHARD` environment
+//! variable the supervisor passes through [`SupervisorConfig::env`];
+//! "once" behaviors use a marker file beside the journal to distinguish
+//! the first spawn from the restart.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use gpumech_obs::CancelToken;
+use gpumech_shard::{supervise, ChaosKill, SupervisorConfig};
+
+/// Environment variable selecting the fake shard's behavior.
+const MODE_VAR: &str = "GPUMECH_FAKE_SHARD";
+
+fn main() {
+    if std::env::var(MODE_VAR).is_ok() {
+        fake_shard_main();
+        return;
+    }
+
+    let tests: &[(&str, fn())] = &[
+        ("all_shards_complete", all_shards_complete),
+        ("crashed_shard_is_restarted_and_completes", crashed_shard_is_restarted_and_completes),
+        ("chaos_kill_forces_restart_and_recovery", chaos_kill_forces_restart_and_recovery),
+        ("hung_shard_trips_heartbeat_and_recovers", hung_shard_trips_heartbeat_and_recovers),
+        ("restart_budget_exhaustion_is_typed", restart_budget_exhaustion_is_typed),
+        ("sweep_deadline_is_enforced", sweep_deadline_is_enforced),
+        ("cancel_token_drains_cleanly", cancel_token_drains_cleanly),
+    ];
+    let mut failed = 0usize;
+    for (name, test) in tests {
+        match std::panic::catch_unwind(test) {
+            Ok(()) => println!("supervisor_chaos::{name} ... ok"),
+            Err(_) => {
+                println!("supervisor_chaos::{name} ... FAILED");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("supervisor_chaos: {failed} test(s) failed");
+        std::process::exit(1);
+    }
+    println!("supervisor_chaos: {} test(s) passed", tests.len());
+}
+
+// ---------------------------------------------------------------------
+// The fake shard child.
+// ---------------------------------------------------------------------
+
+/// Pulls the value following `flag` out of the argument list the
+/// supervisor passed (`--journal <path> --json <path> ...`).
+fn arg_value(args: &[String], flag: &str) -> PathBuf {
+    let at = args.iter().position(|a| a == flag).expect("supervisor always passes the flag");
+    PathBuf::from(&args[at + 1])
+}
+
+fn append_journal_lines(journal: &Path, n: usize) {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(journal)
+        .expect("journal opens");
+    for i in 0..n {
+        writeln!(f, "{{\"line\":{i}}}").expect("journal line writes");
+        f.flush().expect("journal flushes");
+    }
+}
+
+/// First spawn (no marker)? Creates the marker either way.
+fn first_spawn(journal: &Path) -> bool {
+    let marker = journal.with_extension("mark");
+    let first = !marker.exists();
+    std::fs::write(&marker, "spawned\n").expect("marker writes");
+    first
+}
+
+fn fake_shard_main() {
+    let mode = std::env::var(MODE_VAR).expect("checked by caller");
+    let args: Vec<String> = std::env::args().collect();
+    let journal = arg_value(&args, "--journal");
+    let result = arg_value(&args, "--json");
+    match mode.as_str() {
+        // Healthy: heartbeat, result file, clean exit.
+        "ok" => {
+            append_journal_lines(&journal, 3);
+            std::fs::write(&result, "{}\n").expect("result writes");
+        }
+        // Crash on the first spawn, succeed on the restart.
+        "crash-once" => {
+            if first_spawn(&journal) {
+                append_journal_lines(&journal, 1);
+                std::process::exit(17);
+            }
+            append_journal_lines(&journal, 2);
+            std::fs::write(&result, "{}\n").expect("result writes");
+        }
+        // Write journal lines slowly so a ChaosKill can land mid-run.
+        "slow-ok" => {
+            for _ in 0..5 {
+                append_journal_lines(&journal, 1);
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            std::fs::write(&result, "{}\n").expect("result writes");
+        }
+        // Hang after one heartbeat on the first spawn; finish on restart.
+        "hang-once" => {
+            if first_spawn(&journal) {
+                append_journal_lines(&journal, 1);
+                std::thread::sleep(Duration::from_secs(600));
+            }
+            std::fs::write(&result, "{}\n").expect("result writes");
+        }
+        // Unrecoverable: crash every time.
+        "always-crash" => std::process::exit(23),
+        // Never finish (deadline and drain tests).
+        "sleep" => {
+            append_journal_lines(&journal, 1);
+            std::thread::sleep(Duration::from_secs(600));
+        }
+        other => panic!("unknown fake-shard mode {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The tests.
+// ---------------------------------------------------------------------
+
+/// Per-test workspace with a fresh directory.
+fn config(tag: &str, mode: &str, shards: u32) -> SupervisorConfig {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gpumech-supchaos-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = SupervisorConfig::new(
+        std::env::current_exe().expect("own path"),
+        dir,
+        shards,
+    );
+    cfg.poll_ms = 10;
+    cfg.env = vec![(MODE_VAR.to_string(), mode.to_string())];
+    cfg
+}
+
+fn cleanup(cfg: &SupervisorConfig) {
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+fn all_shards_complete() {
+    let cfg = config("ok", "ok", 3);
+    let summary = supervise(&cfg).expect("healthy sweep completes");
+    assert!(!summary.drained);
+    assert_eq!(summary.result_paths.len(), 3);
+    for s in &summary.shards {
+        assert!(s.done, "shard {} must finish", s.shard);
+        assert_eq!(s.spawns, 1, "healthy shard {} needs no restart", s.shard);
+    }
+    assert!(summary.render().contains("# supervisor: completed"));
+    cleanup(&cfg);
+}
+
+fn crashed_shard_is_restarted_and_completes() {
+    let cfg = config("crash", "crash-once", 3);
+    let summary = supervise(&cfg).expect("crashed shards recover");
+    assert_eq!(summary.result_paths.len(), 3);
+    for s in &summary.shards {
+        assert!(s.done, "shard {} must finish after its crash", s.shard);
+        assert_eq!(s.restarts, 1, "shard {} crashes exactly once", s.shard);
+    }
+    cleanup(&cfg);
+}
+
+fn chaos_kill_forces_restart_and_recovery() {
+    let mut cfg = config("chaos", "slow-ok", 2);
+    cfg.chaos_kills = vec![ChaosKill { shard: 0, after_journal_lines: 2 }];
+    let summary = supervise(&cfg).expect("chaos-killed shard recovers");
+    assert!(summary.shards.iter().all(|s| s.done));
+    let shard0 = &summary.shards[0];
+    assert!(
+        shard0.restarts >= 1,
+        "the SIGKILLed shard must have been restarted (spawns {})",
+        shard0.spawns
+    );
+    assert_eq!(summary.shards[1].restarts, 0, "the chaos kill targets only shard 0");
+    cleanup(&cfg);
+}
+
+fn hung_shard_trips_heartbeat_and_recovers() {
+    let mut cfg = config("hang", "hang-once", 2);
+    cfg.heartbeat_ms = 200;
+    let summary = supervise(&cfg).expect("hung shard recovers after heartbeat kill");
+    assert!(summary.shards.iter().all(|s| s.done));
+    assert!(
+        summary.shards.iter().any(|s| s.restarts >= 1),
+        "the hung shard must have been killed and restarted"
+    );
+    cleanup(&cfg);
+}
+
+fn restart_budget_exhaustion_is_typed() {
+    let mut cfg = config("budget", "always-crash", 1);
+    cfg.restart_budget = 2;
+    let err = supervise(&cfg).expect_err("a flapping shard must abort the sweep");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("restart budget"),
+        "budget exhaustion must be the typed error, got: {msg}"
+    );
+    // Initial spawn + 2 restarts = 3 spawns, then the budget trips.
+    assert!(msg.contains('3'), "error names the spawn count: {msg}");
+    cleanup(&cfg);
+}
+
+fn sweep_deadline_is_enforced() {
+    let mut cfg = config("deadline", "sleep", 2);
+    cfg.deadline_ms = Some(300);
+    let err = supervise(&cfg).expect_err("a stuck sweep must hit its deadline");
+    assert!(
+        err.to_string().contains("deadline"),
+        "deadline must be the typed error, got: {err}"
+    );
+    cleanup(&cfg);
+}
+
+fn cancel_token_drains_cleanly() {
+    let mut cfg = config("drain", "sleep", 2);
+    let token = CancelToken::never();
+    cfg.cancel = Some(token.clone());
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            token.cancel();
+        })
+    };
+    let summary = supervise(&cfg).expect("a cancelled sweep drains, not errors");
+    canceller.join().expect("canceller thread");
+    assert!(summary.drained, "cancel must report a drain");
+    assert!(summary.result_paths.is_empty(), "sleeping shards cannot have finished");
+    // Journals survive the drain for a later --resume.
+    for shard in 0..2 {
+        assert!(
+            cfg.journal_path(shard).exists(),
+            "journal for shard {shard} must survive the drain"
+        );
+    }
+    assert!(summary.render().contains("# supervisor: drained"));
+    cleanup(&cfg);
+}

@@ -5,7 +5,8 @@
 ///
 /// The first segment is the emitting stage (the short crate name:
 /// `isa`, `analyze`, `trace`, `mem`, `timing`, `core`, `exec`, `serve`,
-/// `cli`, `bench`, `fault`, `perf`, or `test` in unit tests); the second
+/// `cli`, `bench`, `fault`, `perf`, `shard`, or `test` in unit tests);
+/// the second
 /// names the subsystem;
 /// the third the measurement. `gpumech obs-validate` fails any export
 /// containing a name this function rejects.

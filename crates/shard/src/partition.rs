@@ -1,0 +1,165 @@
+//! Deterministic job partitioning: which shard owns which job.
+//!
+//! Ownership is a pure function of the stable job fingerprint — the same
+//! fingerprint the resume journal keys on
+//! ([`job_fingerprint`](gpumech_exec::job_fingerprint)) — avalanched
+//! through splitmix64 and reduced modulo the shard count. That gives the
+//! three properties the merge verifier depends on:
+//!
+//! * **Reproducible** — any machine enumerating the same sweep computes
+//!   the same shard for every job; no coordination, no state.
+//! * **Order-independent** — ownership depends only on the fingerprint,
+//!   never on the position of a job in the enumeration, so reordering the
+//!   kernel list cannot move a job between shards.
+//! * **Provably disjoint and complete** — `shard_of` is a total function
+//!   onto `0..count`, so the shard job sets partition the sweep exactly.
+
+use std::fmt;
+use std::str::FromStr;
+
+use gpumech_exec::cache::payload_checksum;
+use gpumech_trace::splitmix64;
+
+use crate::ShardError;
+
+/// Salt mixed into the ownership hash so shard assignment is not
+/// correlated with the journal keying of the same fingerprint.
+const SHARD_SALT: u64 = 0x5348_4152_445f_5631; // "SHARD_V1"
+
+/// One shard's identity within a sweep: index `i` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: u32,
+    /// Total shards in the sweep (at least 1).
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The trivial single-shard spec (an unsharded run).
+    #[must_use]
+    pub fn single() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// `true` when this spec describes an unsharded run.
+    #[must_use]
+    pub fn is_single(self) -> bool {
+        self.count == 1
+    }
+
+    /// `true` when this shard owns the job with fingerprint `fp`.
+    #[must_use]
+    pub fn owns(self, fp: u64) -> bool {
+        shard_of(fp, self.count) == self.index
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = ShardError;
+
+    /// Parses `i/N` with `N >= 1` and `i < N`.
+    fn from_str(s: &str) -> Result<Self, ShardError> {
+        let bad = || ShardError::BadSpec(format!("{s:?} (expected i/N with 0 <= i < N)"));
+        let (i, n) = s.split_once('/').ok_or_else(bad)?;
+        let index: u32 = i.parse().map_err(|_| bad())?;
+        let count: u32 = n.parse().map_err(|_| bad())?;
+        if count == 0 || index >= count {
+            return Err(bad());
+        }
+        Ok(Self { index, count })
+    }
+}
+
+/// The shard that owns the job with fingerprint `fp` in a `count`-shard
+/// sweep. Pure, total, and independent of enumeration order; `count == 0`
+/// is treated as 1 (everything owned by shard 0) so the function is total.
+#[must_use]
+pub fn shard_of(fp: u64, count: u32) -> u32 {
+    let count = count.max(1);
+    // Avalanche before reduction: job fingerprints are already hashes,
+    // but the extra mix decorrelates ownership from journal keying and
+    // keeps the modulo unbiased across any fingerprint structure.
+    #[allow(clippy::cast_possible_truncation)]
+    let bucket = (splitmix64(fp ^ SHARD_SALT) % u64::from(count)) as u32;
+    bucket
+}
+
+/// The sweep fingerprint: a content hash of the sweep's identity — the
+/// base configuration fingerprint plus the full job-fingerprint list in
+/// enumeration order. Two runs agree on this value iff they enumerate the
+/// same job space, which is exactly what a merge needs to verify before
+/// unioning shard files. The shard *count* is deliberately excluded: a
+/// 3-shard sweep and the same sweep run unsharded are the same sweep.
+#[must_use]
+pub fn sweep_fingerprint(config_fingerprint: u64, job_fps: &[u64]) -> u64 {
+    let mut blob = format!("{config_fingerprint:016x}|{}|", job_fps.len());
+    for fp in job_fps {
+        blob.push_str(&format!("{fp:016x},"));
+    }
+    payload_checksum(blob.as_bytes())
+}
+
+/// Synthetic fingerprint for a job whose kernel was rejected by static
+/// verification before tracing: no trace exists to fingerprint, but the
+/// job must still appear in the sweep manifest (every shard skips it with
+/// the same typed error row) and shard deterministically. The label is
+/// unique per sweep point, so it is sufficient identity.
+#[must_use]
+pub fn rejected_fingerprint(label: &str) -> u64 {
+    payload_checksum(format!("rejected|{label}").as_bytes())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        let s: ShardSpec = "2/5".parse().unwrap();
+        assert_eq!(s, ShardSpec { index: 2, count: 5 });
+        assert_eq!(s.to_string(), "2/5");
+        for bad in ["", "3", "3/", "/3", "5/5", "6/5", "0/0", "a/b", "1/2/3"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad:?} should be rejected");
+        }
+        assert!(ShardSpec::single().is_single());
+        assert!(!s.is_single());
+    }
+
+    #[test]
+    fn ownership_is_a_total_disjoint_cover() {
+        for count in [1u32, 2, 3, 7, 16] {
+            for fp in (0..500u64).map(splitmix64) {
+                let owner = shard_of(fp, count);
+                assert!(owner < count);
+                let owners: Vec<u32> = (0..count)
+                    .filter(|&i| ShardSpec { index: i, count }.owns(fp))
+                    .collect();
+                assert_eq!(owners, vec![owner], "exactly one owner per fingerprint");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_fingerprint_tracks_job_set_and_order() {
+        let fps = [1u64, 2, 3];
+        let a = sweep_fingerprint(42, &fps);
+        assert_eq!(a, sweep_fingerprint(42, &fps), "deterministic");
+        assert_ne!(a, sweep_fingerprint(43, &fps), "config matters");
+        assert_ne!(a, sweep_fingerprint(42, &[1, 2]), "job set matters");
+        assert_ne!(a, sweep_fingerprint(42, &[3, 2, 1]), "enumeration order matters");
+    }
+
+    #[test]
+    fn rejected_fingerprints_are_stable_and_distinct() {
+        assert_eq!(rejected_fingerprint("k @ bw=96"), rejected_fingerprint("k @ bw=96"));
+        assert_ne!(rejected_fingerprint("k @ bw=96"), rejected_fingerprint("k @ bw=192"));
+    }
+}

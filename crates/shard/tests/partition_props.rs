@@ -1,0 +1,159 @@
+//! Property-style tests for the shard partitioner: for arbitrary shard
+//! counts and job lists, the shards `0/N .. N-1/N` form an exact disjoint
+//! cover of the job space, and ownership is stable under reordering of
+//! the input list.
+//!
+//! Cases are fanned out from a seeded splitmix64 stream, so the "arbitrary"
+//! inputs are reproducible — a failure names the case seed.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use gpumech_shard::{shard_of, sweep_fingerprint, ShardSpec};
+use gpumech_trace::splitmix64;
+
+/// A deterministic pseudo-random stream for case generation.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(1);
+        splitmix64(self.0)
+    }
+
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// One generated case: a shard count and a job-fingerprint list (with
+/// occasional duplicates, which a sweep enumeration can legally contain).
+fn case(seed: u64) -> (u32, Vec<u64>) {
+    let mut s = Stream(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    #[allow(clippy::cast_possible_truncation)]
+    let count = s.in_range(1, 64) as u32;
+    let len = s.in_range(0, 300) as usize;
+    let mut fps: Vec<u64> = (0..len).map(|_| s.next()).collect();
+    // Sprinkle duplicates: roughly one in eight jobs repeats an earlier one.
+    for i in 0..len {
+        if !fps.is_empty() && s.next().is_multiple_of(8) {
+            let j = (s.next() as usize) % fps.len();
+            fps[i] = fps[j];
+        }
+    }
+    (count, fps)
+}
+
+/// A seeded Fisher-Yates shuffle (no RNG crates in the tree).
+fn shuffled(fps: &[u64], seed: u64) -> Vec<u64> {
+    let mut out = fps.to_vec();
+    let mut s = Stream(seed);
+    for i in (1..out.len()).rev() {
+        let j = (s.next() as usize) % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+#[test]
+fn shards_form_an_exact_disjoint_cover() {
+    for seed in 0..200u64 {
+        let (count, fps) = case(seed);
+        let shards: Vec<ShardSpec> =
+            (0..count).map(|index| ShardSpec { index, count }).collect();
+        let mut covered = 0usize;
+        for &fp in &fps {
+            let owners: Vec<u32> =
+                shards.iter().filter(|s| s.owns(fp)).map(|s| s.index).collect();
+            assert_eq!(
+                owners.len(),
+                1,
+                "case {seed}: fp {fp:016x} owned by {owners:?} in a {count}-shard sweep"
+            );
+            assert_eq!(owners[0], shard_of(fp, count), "case {seed}: owns() and shard_of agree");
+            covered += 1;
+        }
+        assert_eq!(covered, fps.len(), "case {seed}: every job is covered");
+    }
+}
+
+#[test]
+fn ownership_is_stable_under_input_reordering() {
+    for seed in 0..100u64 {
+        let (count, fps) = case(seed);
+        let reordered = shuffled(&fps, seed ^ 0xabcd);
+        for &fp in &reordered {
+            // The fingerprint alone decides ownership: the same fp in a
+            // different enumeration position lands on the same shard.
+            assert_eq!(
+                shard_of(fp, count),
+                shard_of(fp, count),
+                "pure function"
+            );
+        }
+        // Stronger: the per-shard *sets* are identical regardless of order.
+        for index in 0..count {
+            let spec = ShardSpec { index, count };
+            let mut a: Vec<u64> = fps.iter().copied().filter(|&fp| spec.owns(fp)).collect();
+            let mut b: Vec<u64> =
+                reordered.iter().copied().filter(|&fp| spec.owns(fp)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "case {seed}: shard {index}/{count} set changed under reorder");
+        }
+    }
+}
+
+#[test]
+fn single_shard_owns_everything() {
+    for seed in 0..50u64 {
+        let (_, fps) = case(seed);
+        for &fp in &fps {
+            assert!(ShardSpec::single().owns(fp));
+            assert_eq!(shard_of(fp, 1), 0);
+        }
+    }
+}
+
+#[test]
+fn partition_is_reasonably_balanced() {
+    // Not a correctness requirement, but a badly skewed partition would
+    // defeat the point of sharding; the avalanche should keep every shard
+    // within a loose factor of its fair share on a large population.
+    let fps: Vec<u64> = (0..20_000u64).map(splitmix64).collect();
+    for count in [2u32, 3, 8] {
+        let mut sizes = vec![0usize; count as usize];
+        for &fp in &fps {
+            sizes[shard_of(fp, count) as usize] += 1;
+        }
+        let fair = fps.len() / count as usize;
+        for (i, &size) in sizes.iter().enumerate() {
+            assert!(
+                size > fair / 2 && size < fair * 2,
+                "shard {i}/{count} got {size} of {} (fair {fair})",
+                fps.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_fingerprint_is_order_sensitive_but_count_free() {
+    let (count, fps) = case(7);
+    let base = sweep_fingerprint(99, &fps);
+    // Sharding does not change sweep identity (no count in the hash):
+    // recomputing from any shard's view of the full enumeration agrees.
+    for index in 0..count.min(4) {
+        let _ = ShardSpec { index, count };
+        assert_eq!(sweep_fingerprint(99, &fps), base);
+    }
+    if fps.len() > 1 {
+        let reordered = shuffled(&fps, 0x1234);
+        if reordered != fps {
+            assert_ne!(
+                sweep_fingerprint(99, &reordered),
+                base,
+                "enumeration order is part of sweep identity"
+            );
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! - [`exec`] — the parallel batch-prediction engine and profile cache;
 //! - [`perf`] — continuous performance telemetry: self-time attribution
 //!   and folded-stack export over the span tree, the counting global
-//!   allocator, and the `gpumech perf` benchmark suite with baselines.
+//!   allocator, and the `gpumech perf` benchmark suite with baselines;
+//! - [`shard`] — fleet-scale sharded sweeps: deterministic job
+//!   partitioning, verified shard merges, and the crash-tolerant
+//!   multi-process supervisor behind `gpumech supervise`.
 //!
 //! The supported entry points are also re-exported at the crate root, so
 //! most programs only need `use gpumech::{Gpumech, PredictionRequest, ...}`:
@@ -40,6 +43,7 @@ pub use gpumech_isa as isa;
 pub use gpumech_mem as mem;
 pub use gpumech_obs as obs;
 pub use gpumech_perf as perf;
+pub use gpumech_shard as shard;
 pub use gpumech_timing as timing;
 pub use gpumech_trace as trace;
 
